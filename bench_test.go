@@ -1,0 +1,252 @@
+// Benchmarks regenerating each table and figure of the paper at reduced
+// scale (the cmd/experiments binary runs them at full scale). Custom
+// metrics report the headline quantity of each figure so the shape of the
+// result is visible straight from `go test -bench`.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gpu"
+	"repro/internal/parboil"
+	"repro/internal/policy"
+	"repro/internal/preempt"
+	"repro/internal/sim"
+	"repro/internal/system"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// benchOpts are reduced-scale experiment options for benchmarking: the
+// shape-defining statistics (occupancy, preemption latencies, per-TB times)
+// are preserved; only makespans shrink.
+func benchOpts(sizes ...int) experiments.Options {
+	return experiments.Options{
+		Sizes:   sizes,
+		PerSize: 5,
+		Seed:    2014,
+		Scale:   48,
+		MinRuns: 2,
+	}
+}
+
+// BenchmarkTable1 recomputes the derived columns of Table 1.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunTable1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 24 {
+			b.Fatal("row count")
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates the motivating preemption timeline (Figure 2)
+// and reports the speedup of the soft real-time kernel under PPQ vs FCFS.
+func BenchmarkFig2(b *testing.B) {
+	var last *experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig2(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(float64(last.FCFS)/float64(last.PPQ), "x-ppq-speedup")
+	b.ReportMetric(float64(last.FCFS)/float64(last.NPQ), "x-npq-speedup")
+}
+
+// BenchmarkFig5 regenerates the high-priority NTT improvement figure for
+// 4-process workloads and reports the average improvements.
+func BenchmarkFig5(b *testing.B) {
+	var fig5 *experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		f5, _, err := experiments.RunPriority(benchOpts(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig5 = f5
+	}
+	if v, ok := fig5.Improvement("AVERAGE", experiments.SchedNPQ, 4); ok {
+		b.ReportMetric(v, "x-npq")
+	}
+	if v, ok := fig5.Improvement("AVERAGE", experiments.SchedPPQCS, 4); ok {
+		b.ReportMetric(v, "x-ppq-cs")
+	}
+	if v, ok := fig5.Improvement("AVERAGE", experiments.SchedPPQDrain, 4); ok {
+		b.ReportMetric(v, "x-ppq-drain")
+	}
+}
+
+// BenchmarkFig6 regenerates the STP-degradation figure for 4-process
+// workloads and reports the exclusive-access degradations.
+func BenchmarkFig6(b *testing.B) {
+	var fig6 *experiments.Fig6Result
+	for i := 0; i < b.N; i++ {
+		_, f6, err := experiments.RunPriority(benchOpts(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig6 = f6
+	}
+	if v, ok := fig6.Degradation("exclusive", "Context Switch", 4); ok {
+		b.ReportMetric(v, "x-stp-deg-cs")
+	}
+	if v, ok := fig6.Degradation("exclusive", "Draining", 4); ok {
+		b.ReportMetric(v, "x-stp-deg-drain")
+	}
+}
+
+// BenchmarkFig7 regenerates the DSS equal-sharing figure for 4-process
+// workloads and reports NTT and fairness improvements.
+func BenchmarkFig7(b *testing.B) {
+	var fig7 *experiments.Fig7Result
+	for i := 0; i < b.N; i++ {
+		f7, _, err := experiments.RunDSS(benchOpts(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig7 = f7
+	}
+	if v, ok := fig7.NTTImprovement("AVERAGE", experiments.ConfDSSCS, 4); ok {
+		b.ReportMetric(v, "x-ntt-cs")
+	}
+	if v, ok := fig7.FairnessImprovement(experiments.ConfDSSCS, 4); ok {
+		b.ReportMetric(v, "x-fairness-cs")
+	}
+	if v, ok := fig7.STPDegradation(experiments.ConfDSSCS, 4); ok {
+		b.ReportMetric(v, "x-stp-deg-cs")
+	}
+}
+
+// BenchmarkFig8 regenerates the per-workload ANTT curves for 4-process
+// workloads and reports the median ANTT per configuration.
+func BenchmarkFig8(b *testing.B) {
+	var fig8 *experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		_, f8, err := experiments.RunDSS(benchOpts(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig8 = f8
+	}
+	median := func(conf string) float64 {
+		s := fig8.Sorted(4, conf)
+		return s[len(s)/2]
+	}
+	b.ReportMetric(median(experiments.ConfFCFS), "antt-fcfs")
+	b.ReportMetric(median(experiments.ConfDSSCS), "antt-dss-cs")
+	b.ReportMetric(median(experiments.ConfDSSDrain), "antt-dss-drain")
+}
+
+// --- microbenchmarks of the substrate ------------------------------------
+
+// BenchmarkEventEngine measures raw discrete-event throughput.
+func BenchmarkEventEngine(b *testing.B) {
+	eng := sim.NewEngine()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			eng.After(1, tick)
+		}
+	}
+	b.ResetTimer()
+	eng.After(1, tick)
+	if err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkOccupancy measures the occupancy calculator over Table 1.
+func BenchmarkOccupancy(b *testing.B) {
+	cfg := gpu.DefaultConfig()
+	suite := parboil.Suite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, app := range suite {
+			for j := range app.Kernels {
+				if _, err := cfg.Occupancy(&app.Kernels[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// benchWorkload runs one multiprogrammed simulation per iteration and
+// reports simulated thread blocks per wall second.
+func benchWorkload(b *testing.B, pol func(n int) core.Policy, mech func() core.Mechanism, names ...string) {
+	var apps []*trace.App
+	for _, n := range names {
+		a, err := parboil.App(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		apps = append(apps, a.Scale(16))
+	}
+	cfg := system.DefaultConfig()
+	cfg.Seed = 1
+	rc := workload.RunConfig{Sys: cfg, Policy: pol, Mechanism: mech, MinRuns: 2}
+	spec := workload.Spec{Name: "bench", Apps: apps, HighPriority: -1, Seed: 1}
+	totalTBs := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := workload.Run(spec, rc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatal("incomplete")
+		}
+		totalTBs += res.Stats.TBsCompleted
+	}
+	b.ReportMetric(float64(totalTBs)/b.Elapsed().Seconds(), "TBs/s")
+}
+
+// BenchmarkWorkloadFCFS4 measures simulator throughput under FCFS.
+func BenchmarkWorkloadFCFS4(b *testing.B) {
+	benchWorkload(b,
+		func(n int) core.Policy { return policy.NewFCFS() }, nil,
+		"spmv", "histo", "sgemm", "mri-q")
+}
+
+// BenchmarkWorkloadDSS4CS measures simulator throughput under DSS with
+// context switching (preemption-heavy).
+func BenchmarkWorkloadDSS4CS(b *testing.B) {
+	benchWorkload(b,
+		func(n int) core.Policy { return policy.NewDSS(n) },
+		func() core.Mechanism { return preempt.ContextSwitch{} },
+		"spmv", "histo", "sgemm", "mri-q")
+}
+
+// BenchmarkWorkloadDSS8Drain measures an 8-process DSS/draining workload.
+func BenchmarkWorkloadDSS8Drain(b *testing.B) {
+	benchWorkload(b,
+		func(n int) core.Policy { return policy.NewDSS(n) },
+		func() core.Mechanism { return preempt.Drain{} },
+		"spmv", "histo", "sgemm", "mri-q", "cutcp", "tpacf", "sad", "lbm")
+}
+
+// BenchmarkIsolatedBaselines measures the isolated-run path.
+func BenchmarkIsolatedBaselines(b *testing.B) {
+	app, err := parboil.App("histo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	app = app.Scale(16)
+	cfg := system.DefaultConfig()
+	cfg.Seed = 1
+	rc := workload.RunConfig{Sys: cfg, MinRuns: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.Isolated(app, rc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

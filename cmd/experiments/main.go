@@ -1,0 +1,200 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section, plus the ablations documented in DESIGN.md.
+//
+// Examples:
+//
+//	experiments -exp table1
+//	experiments -exp fig5 -n 10 -scale 1
+//	experiments -exp all -scale 8 -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1|table2|fig2|fig5|fig6|fig7|fig8|priority|dss|mps|static|slicing|ablations|all")
+		n       = flag.Int("n", 10, "workloads per size")
+		sizes   = flag.String("sizes", "2,4,6,8", "workload sizes")
+		seed    = flag.Uint64("seed", 2014, "random seed")
+		scale   = flag.Int("scale", 1, "benchmark scale factor (1 = paper-faithful, larger = faster)")
+		minRuns = flag.Int("runs", 3, "completed runs per application")
+		outDir  = flag.String("out", "", "directory for CSV output (empty = text only)")
+		quiet   = flag.Bool("q", false, "suppress per-simulation progress")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{
+		Sizes:   parseSizes(*sizes),
+		PerSize: *n,
+		Seed:    *seed,
+		Scale:   *scale,
+		MinRuns: *minRuns,
+	}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	emitted := 0
+
+	emit := func(name string, t *experiments.Table) {
+		fmt.Println(t.Render())
+		if *outDir != "" {
+			path := filepath.Join(*outDir, name+".csv")
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fatal(err)
+			}
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := t.WriteCSV(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+		emitted++
+	}
+
+	if want("table1") {
+		rows, err := experiments.RunTable1()
+		if err != nil {
+			fatal(err)
+		}
+		emit("table1", experiments.Table1Table(rows))
+	}
+	if want("table2") {
+		emit("table2", experiments.RunTable2())
+	}
+	if want("fig2") {
+		r, err := experiments.RunFig2(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig2", r.Table())
+	}
+	if want("fig5") || want("fig6") || *exp == "priority" {
+		fig5, fig6, err := experiments.RunPriority(opts)
+		if err != nil {
+			fatal(err)
+		}
+		if want("fig5") || *exp == "priority" {
+			emit("fig5", fig5.Table())
+			fmt.Println(fig5.Chart(48))
+		}
+		if want("fig6") || *exp == "priority" {
+			emit("fig6", fig6.Table())
+		}
+	}
+	if want("fig7") || want("fig8") || *exp == "dss" {
+		fig7, fig8, err := experiments.RunDSS(opts)
+		if err != nil {
+			fatal(err)
+		}
+		if want("fig7") || *exp == "dss" {
+			for i, t := range fig7.Tables() {
+				emit(fmt.Sprintf("fig7%c", 'a'+i), t)
+			}
+			fmt.Println(fig7.Chart(48))
+		}
+		if want("fig8") || *exp == "dss" {
+			emit("fig8", fig8.Table())
+			for _, size := range fig8.Sizes {
+				if cp := fig8.CrossPoint(size); cp >= 0 {
+					fmt.Printf("cross point (draining beats context switch) at %d procs: %.0f%% of workloads\n",
+						size, cp*100)
+				}
+			}
+			fmt.Println()
+		}
+	}
+	if want("mps") {
+		r, err := experiments.RunMPS(opts)
+		if err != nil {
+			fatal(err)
+		}
+		emit("mps", r.Table())
+	}
+	if want("static") {
+		r, err := experiments.RunStaticVsDSS(opts)
+		if err != nil {
+			fatal(err)
+		}
+		emit("static", experiments.StaticVsDSSTable(r))
+	}
+	if want("slicing") {
+		r, err := experiments.RunSlicing(opts, nil)
+		if err != nil {
+			fatal(err)
+		}
+		emit("slicing", r.Table())
+	}
+	if want("ablations") {
+		runAblations(opts, emit)
+	}
+
+	if emitted == 0 {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func runAblations(opts experiments.Options, emit func(string, *experiments.Table)) {
+	if r, err := experiments.AblationPipelineDrain(opts, nil); err != nil {
+		fatal(err)
+	} else {
+		emit("ablation-pipeline", r.Table())
+	}
+	if r, err := experiments.AblationJitter(opts, nil); err != nil {
+		fatal(err)
+	} else {
+		emit("ablation-jitter", r.Table())
+	}
+	if r, err := experiments.AblationActiveLimit(opts, nil); err != nil {
+		fatal(err)
+	} else {
+		emit("ablation-activeq", r.Table())
+	}
+	if r, err := experiments.AblationTokens(opts); err != nil {
+		fatal(err)
+	} else {
+		emit("ablation-tokens", r.Table())
+	}
+	if t, err := experiments.AblationSharedMem(); err != nil {
+		fatal(err)
+	} else {
+		emit("ablation-smem", t)
+	}
+}
+
+func parseSizes(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			fatal(fmt.Errorf("bad size %q", part))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

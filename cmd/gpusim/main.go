@@ -1,0 +1,119 @@
+// Command gpusim simulates one multiprogrammed GPU workload and prints the
+// paper's metrics (NTT per application, ANTT, STP, fairness).
+//
+// Example:
+//
+//	gpusim -apps spmv,lbm,mri-gridding -policy dss -mech context-switch -hp 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		appsFlag = flag.String("apps", "spmv,sgemm", "comma-separated benchmark names (see -list)")
+		policy   = flag.String("policy", "fcfs", "scheduling policy: fcfs|npq|ppq|ppq-shared|dss|timeslice")
+		mech     = flag.String("mech", "", "preemption mechanism: context-switch|drain|none (default per policy)")
+		hp       = flag.Int("hp", -1, "index of the high-priority application (-1 = none)")
+		runs     = flag.Int("runs", 3, "completed runs required per application")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		scale    = flag.Int("scale", 1, "scale factor to shrink benchmarks (1 = paper-faithful)")
+		jitter   = flag.Float64("jitter", 0.30, "thread-block time variability (0-1)")
+		timeline = flag.Bool("timeline", false, "print an ASCII SM timeline")
+		list     = flag.Bool("list", false, "list available benchmarks and exit")
+		prioDMA  = flag.Bool("priority-dma", false, "priority scheduling on the transfer engine")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range repro.Names() {
+			a, _ := repro.AppByName(n)
+			fmt.Printf("%-14s kernels:%-7s app:%s\n", n, a.KernelClass(), a.AppClass())
+		}
+		return
+	}
+
+	var apps []*repro.App
+	for _, name := range strings.Split(*appsFlag, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, err := repro.AppByName(name)
+		if err != nil {
+			fatal(err)
+		}
+		if *scale > 1 {
+			a = a.Scale(*scale)
+		}
+		apps = append(apps, a)
+	}
+	if len(apps) == 0 {
+		fatal(fmt.Errorf("no applications given"))
+	}
+
+	opts := repro.Options{
+		Policy:         repro.PolicyKind(*policy),
+		Mechanism:      repro.MechanismKind(*mech),
+		MinRuns:        *runs,
+		Seed:           *seed,
+		Jitter:         *jitter,
+		RecordTimeline: *timeline,
+		PriorityDMA:    *prioDMA,
+	}
+	res, err := repro.Run(repro.Workload{Apps: apps, HighPriority: *hp}, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("policy=%s mechanism=%s apps=%d seed=%d\n", *policy, orDefault(*mech, "auto"), len(apps), *seed)
+	fmt.Printf("simulated time: %v   completed: %v   utilization: %.1f%%   preemptions: %d   ctx saved: %s\n\n",
+		res.EndTime, res.Completed, res.Utilization*100, res.Preemptions, bytesHuman(res.ContextSavedBytes))
+	fmt.Printf("%-14s %5s  %14s  %14s  %8s  %s\n", "app", "runs", "turnaround", "isolated", "NTT", "flags")
+	for _, a := range res.Apps {
+		flags := ""
+		if a.HighPriority {
+			flags += "high-priority "
+		}
+		if a.Starved {
+			flags += "STARVED"
+		}
+		fmt.Printf("%-14s %5d  %14v  %14v  %8.2f  %s\n", a.Name, a.Runs, a.Turnaround, a.Isolated, a.NTT, flags)
+	}
+	fmt.Printf("\nANTT=%.3f  STP=%.3f  fairness=%.3f\n", res.ANTT, res.STP, res.Fairness)
+
+	if *timeline {
+		fmt.Println()
+		fmt.Print(repro.RenderTimeline(res.Timeline, 13, 120))
+	}
+}
+
+func orDefault(s, d string) string {
+	if s == "" {
+		return d
+	}
+	return s
+}
+
+func bytesHuman(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gpusim:", err)
+	os.Exit(1)
+}

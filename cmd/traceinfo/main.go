@@ -1,0 +1,98 @@
+// Command traceinfo inspects application traces: it prints per-kernel
+// statistics and the op structure of the built-in Parboil suite, and can
+// export/import the suite as JSON.
+//
+// Examples:
+//
+//	traceinfo -app lbm
+//	traceinfo -export suite.json
+//	traceinfo -import suite.json -app histo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gpu"
+	"repro/internal/parboil"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		appName    = flag.String("app", "", "application to describe (empty = all)")
+		exportPath = flag.String("export", "", "write the suite as JSON to this file")
+		importPath = flag.String("import", "", "read the suite from this JSON file instead of the built-ins")
+		scale      = flag.Int("scale", 1, "scale factor applied before describing")
+	)
+	flag.Parse()
+
+	var apps []*trace.App
+	if *importPath != "" {
+		f, err := os.Open(*importPath)
+		if err != nil {
+			fatal(err)
+		}
+		suite, err := trace.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		apps = suite.Apps
+	} else {
+		apps = parboil.Suite()
+	}
+
+	if *exportPath != "" {
+		f, err := os.Create(*exportPath)
+		if err != nil {
+			fatal(err)
+		}
+		suite := trace.Suite{Apps: apps}
+		if err := suite.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *exportPath)
+		return
+	}
+
+	cfg := gpu.DefaultConfig()
+	for _, app := range apps {
+		if *appName != "" && app.Name != *appName {
+			continue
+		}
+		if *scale > 1 {
+			app = app.Scale(*scale)
+		}
+		describe(app, &cfg)
+	}
+}
+
+func describe(app *trace.App, cfg *gpu.Config) {
+	fmt.Printf("%s  (kernels class %s, app class %s)\n", app.Name, app.Class1, app.Class2)
+	h2d, d2h := app.TotalTransferBytes()
+	fmt.Printf("  ops: %d   cpu time/run: %v   h2d: %.2f MiB   d2h: %.2f MiB\n",
+		len(app.Ops), app.TotalCPUTime(), float64(h2d)/(1<<20), float64(d2h)/(1<<20))
+	counts := app.LaunchCounts()
+	for i := range app.Kernels {
+		k := &app.Kernels[i]
+		occ, err := cfg.Occupancy(k)
+		occStr := "-"
+		if err == nil {
+			occStr = fmt.Sprintf("%d", occ)
+		}
+		save, _ := cfg.SaveTime(k)
+		fmt.Printf("  kernel %-18s launches=%-4d TBs=%-7d tb=%-10v regs/TB=%-6d smem/TB=%-6d TBs/SM=%-3s save=%v\n",
+			k.Name, counts[i], k.NumTBs, k.TBTime, k.RegsPerTB, k.SharedMemPerTB, occStr, save)
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceinfo:", err)
+	os.Exit(1)
+}

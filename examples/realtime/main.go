@@ -1,0 +1,77 @@
+// Realtime reproduces the motivating example of Figure 2: a soft real-time
+// kernel (K3, high priority, with a deadline) competes with two long
+// low-priority kernels (K1, K2). Under FCFS the deadline is blown; a
+// non-preemptive priority scheduler helps; only preemptive priority meets
+// tight deadlines. The example prints the ASCII SM timeline of each case.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func mustApp(b *repro.AppBuilder) *repro.App {
+	a, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return a
+}
+
+func main() {
+	// K1, K2: long kernels (26 thread blocks of 400us at occupancy 1:
+	// two full waves over 13 SMs, about 800us each).
+	longKernel := func(name string, startDelay time.Duration) *repro.App {
+		return mustApp(repro.NewApp(name).
+			Kernel(repro.KernelConfig{
+				Name: name + ".kernel", ThreadBlocks: 26,
+				TBTime: 400 * time.Microsecond, RegsPerTB: 40000,
+			}).
+			CPU(startDelay).
+			Launch(name + ".kernel"))
+	}
+	k1 := longKernel("K1", 0)
+	k2 := longKernel("K2", 5*time.Microsecond)
+	// K3: a soft real-time kernel (13 thread blocks of 30us) launched
+	// 100us into the run, with a 250us deadline from its launch.
+	k3 := mustApp(repro.NewApp("K3").
+		Kernel(repro.KernelConfig{
+			Name: "K3.kernel", ThreadBlocks: 13,
+			TBTime: 30 * time.Microsecond, RegsPerTB: 4000,
+		}).
+		CPU(100 * time.Microsecond).
+		Launch("K3.kernel"))
+	deadline := 250*time.Microsecond + 100*time.Microsecond // launch offset + deadline
+
+	w := repro.Workload{Apps: []*repro.App{k1, k2, k3}, HighPriority: 2}
+	for _, cfg := range []struct {
+		label string
+		opts  repro.Options
+	}{
+		{"(a) FCFS, as in current GPUs", repro.Options{Policy: repro.PolicyFCFS}},
+		{"(b) nonpreemptive priority (NPQ)", repro.Options{Policy: repro.PolicyNPQ}},
+		{"(c) preemptive priority (PPQ + context switch)",
+			repro.Options{Policy: repro.PolicyPPQ, Mechanism: repro.MechanismContextSwitch}},
+	} {
+		opts := cfg.opts
+		opts.MinRuns = 1
+		opts.Jitter = -1 // deterministic, to match the figure's clean timeline
+		opts.RecordTimeline = true
+		res, err := repro.Run(w, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		k3m := res.Apps[2]
+		verdict := "MISSED"
+		if k3m.Turnaround <= deadline {
+			verdict = "met"
+		}
+		fmt.Printf("=== %s ===\n", cfg.label)
+		fmt.Printf("K3 turnaround: %v (deadline %v: %s)\n", k3m.Turnaround, deadline, verdict)
+		fmt.Print(repro.RenderTimeline(res.Timeline, 13, 110))
+		fmt.Println()
+	}
+}

@@ -1,0 +1,180 @@
+// Package core implements the paper's primary contribution: a GPU execution
+// engine extended with the hardware scheduling framework of §3 — per-context
+// command buffers, the active queue, the Kernel Status Register Table
+// (KSRT), the SM Status Table (SMST) and the Preempted Thread Block Queues
+// (PTBQ) — together with the SM-driver machinery that issues thread blocks,
+// tracks their completion, and orchestrates per-SM preemption through a
+// pluggable Mechanism (context switch or draining) under a pluggable
+// scheduling Policy (FCFS, NPQ, PPQ, DSS, ...).
+//
+// The framework is event-driven on top of the sim package: thread blocks are
+// issued to SMs and complete after their (trace-derived, jittered) execution
+// time; the policy is invoked on the events the paper names — a kernel
+// entering the active queue and an SM becoming idle — plus bookkeeping hooks.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gmem"
+	"repro/internal/gpu"
+	"repro/internal/mmu"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// KernelID is a handle to an entry of the KSRT. Handles carry a generation
+// so that a stale handle to a finished kernel can never alias the slot's new
+// occupant.
+type KernelID struct {
+	slot int
+	gen  int
+}
+
+// NoKernel is the invalid kernel handle.
+var NoKernel = KernelID{slot: -1}
+
+// Valid reports whether the handle ever referred to a kernel. Use
+// Framework.Kernel to check whether it still does.
+func (k KernelID) Valid() bool { return k.slot >= 0 }
+
+func (k KernelID) String() string {
+	if !k.Valid() {
+		return "kernel(none)"
+	}
+	return fmt.Sprintf("kernel(%d.%d)", k.slot, k.gen)
+}
+
+// LaunchCmd is a kernel-launch command as delivered by the command
+// dispatcher to the framework's command buffers.
+type LaunchCmd struct {
+	Ctx  *gpu.Context
+	Spec *trace.KernelSpec
+	// Launch is a unique launch instance id, assigned at Submit.
+	Launch uint64
+	// Enqueued is when the command reached the framework.
+	Enqueued sim.Time
+	// Priority is the scheduling priority, copied from the context at
+	// Submit time.
+	Priority int
+	// OnDone is invoked when the kernel's last thread block completes.
+	OnDone func(at sim.Time)
+}
+
+// PreemptedTB is one entry of a Preempted Thread Block Queue: the handle of
+// a thread block whose context was saved, sufficient to re-issue it later.
+type PreemptedTB struct {
+	// Index is the thread-block index within the launch.
+	Index int
+	// Remaining is the execution time the thread block still needs.
+	Remaining sim.Time
+}
+
+// KSR is a Kernel Status Register: one valid entry of the KSRT, describing
+// an active (running or preempted) kernel, augmented with the identifier of
+// its GPU context (§3.3).
+type KSR struct {
+	id  KernelID
+	Cmd *LaunchCmd
+
+	// TBsPerSM is the kernel's occupancy on this machine (Table 1).
+	TBsPerSM int
+	// SmemConfig is the shared-memory configuration the SM driver selects.
+	SmemConfig int
+
+	// NextTB indexes the next fresh thread block to issue.
+	NextTB int
+	// Done counts completed thread blocks.
+	Done int
+	// Running counts thread blocks currently resident on SMs.
+	Running int
+	// Incoming counts SMs assigned or reserved for this kernel whose setup
+	// or preemption has not completed yet (so they are not issuing yet).
+	Incoming int
+	// Held counts SMs currently attached to this kernel (running on behalf
+	// of it, or reserved for it).
+	Held int
+
+	// Tokens is the DSS token count (current, may be negative: debt).
+	Tokens int
+
+	// Activated is when the kernel entered the active queue.
+	Activated sim.Time
+
+	ptbq   []PreemptedTB
+	saveVA mmu.VAddr
+	savePA gmem.PAddr
+}
+
+// ID returns the kernel's handle.
+func (k *KSR) ID() KernelID { return k.id }
+
+// Ctx returns the kernel's GPU context.
+func (k *KSR) Ctx() *gpu.Context { return k.Cmd.Ctx }
+
+// Spec returns the kernel specification.
+func (k *KSR) Spec() *trace.KernelSpec { return k.Cmd.Spec }
+
+// Priority returns the kernel's scheduling priority.
+func (k *KSR) Priority() int { return k.Cmd.Priority }
+
+// Total returns the total number of thread blocks in the launch.
+func (k *KSR) Total() int { return k.Cmd.Spec.NumTBs }
+
+// IssueableTBs returns the number of thread blocks available for issue:
+// preempted thread blocks waiting in the PTBQ plus fresh ones.
+func (k *KSR) IssueableTBs() int { return (k.Total() - k.NextTB) + len(k.ptbq) }
+
+// HasWork reports whether the kernel has thread blocks to issue.
+func (k *KSR) HasWork() bool { return k.IssueableTBs() > 0 }
+
+// Finished reports whether every thread block has completed.
+func (k *KSR) Finished() bool { return k.Done == k.Total() }
+
+// PTBQLen returns the number of preempted thread blocks queued.
+func (k *KSR) PTBQLen() int { return len(k.ptbq) }
+
+// SMState is the state of an SM in the SM Status Table.
+type SMState int
+
+// SM states (§3.3).
+const (
+	SMIdle SMState = iota
+	SMRunning
+	SMReserved
+)
+
+func (s SMState) String() string {
+	switch s {
+	case SMIdle:
+		return "idle"
+	case SMRunning:
+		return "running"
+	case SMReserved:
+		return "reserved"
+	}
+	return fmt.Sprintf("SMState(%d)", int(s))
+}
+
+type residentTB struct {
+	index    int
+	restored bool
+	start    sim.Time
+	end      sim.Time
+	ev       *sim.Event
+}
+
+// sm is one entry of the SM Status Table plus the simulated SM itself.
+type sm struct {
+	id        int
+	state     SMState
+	ksr       KernelID // kernel whose thread blocks occupy the SM
+	next      KernelID // kernel the SM is reserved for
+	resident  []residentTB
+	settingUp bool
+	draining  bool
+	saving    bool
+	ctxOnSM   int // installed context id; -1 = none
+	tlb       *mmu.TLB
+	busyFrom  sim.Time
+}

@@ -1,0 +1,876 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gmem"
+	"repro/internal/gpu"
+	"repro/internal/mmu"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Framework is the extended execution engine: the SM driver plus the
+// scheduling framework of §3.3. It owns the SMs, the KSRT, the SMST, the
+// active queue and the per-context command buffers, and drives thread-block
+// issue, completion and preemption under the configured Policy/Mechanism.
+type Framework struct {
+	eng    *sim.Engine
+	cfg    gpu.Config
+	policy Policy
+	mech   Mechanism
+	mem    *gmem.Manager // optional: backs preallocated context-save areas
+
+	sms   []*sm
+	slots []ksrSlot
+	// active is the Active Queue: handles of active kernels in activation
+	// order.
+	active []KernelID
+
+	// pending holds, per context id, the FIFO of launch commands whose head
+	// occupies that context's command buffer.
+	pending map[int][]*LaunchCmd
+	// pendingCtxs keeps context ids with pending commands in the arrival
+	// order of their current head.
+	pendingCtxs []int
+
+	activeLimit int
+	jitter      float64
+	seed        uint64
+	launchSeq   uint64
+
+	timeline *Timeline
+	stats    Stats
+
+	activating bool
+}
+
+type ksrSlot struct {
+	k   *KSR // nil when free
+	gen int
+}
+
+// Option configures a Framework.
+type Option func(*Framework)
+
+// WithJitter sets the per-thread-block execution-time jitter fraction
+// (uniform in [1-f, 1+f]); 0 disables jitter.
+func WithJitter(f float64) Option {
+	return func(fw *Framework) { fw.jitter = f }
+}
+
+// WithSeed sets the seed for the deterministic jitter hash.
+func WithSeed(seed uint64) Option {
+	return func(fw *Framework) { fw.seed = seed }
+}
+
+// WithTimeline attaches a timeline recorder.
+func WithTimeline(t *Timeline) Option {
+	return func(fw *Framework) { fw.timeline = t }
+}
+
+// WithActiveLimit overrides the active-queue capacity. The paper sets it to
+// the number of SMs (§3.3), which is the default; mobile configurations may
+// want a larger ratio of active kernels to SMs.
+func WithActiveLimit(n int) Option {
+	return func(fw *Framework) { fw.activeLimit = n }
+}
+
+// WithMemory attaches a physical memory manager from which the framework
+// preallocates per-kernel context-save areas (§3.2).
+func WithMemory(m *gmem.Manager) Option {
+	return func(fw *Framework) { fw.mem = m }
+}
+
+// New builds a framework for the given machine, policy and mechanism.
+func New(eng *sim.Engine, cfg gpu.Config, policy Policy, mech Mechanism, opts ...Option) (*Framework, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if eng == nil || policy == nil || mech == nil {
+		return nil, fmt.Errorf("core: nil engine, policy or mechanism")
+	}
+	fw := &Framework{
+		eng:         eng,
+		cfg:         cfg,
+		policy:      policy,
+		mech:        mech,
+		pending:     make(map[int][]*LaunchCmd),
+		activeLimit: cfg.NumSMs,
+		jitter:      0.30,
+	}
+	for _, opt := range opts {
+		opt(fw)
+	}
+	if fw.activeLimit <= 0 {
+		return nil, fmt.Errorf("core: active-kernel limit must be positive, got %d", fw.activeLimit)
+	}
+	fw.sms = make([]*sm, cfg.NumSMs)
+	for i := range fw.sms {
+		fw.sms[i] = &sm{
+			id:       i,
+			ksr:      NoKernel,
+			next:     NoKernel,
+			ctxOnSM:  -1,
+			busyFrom: -1,
+			tlb:      mmu.NewTLB(cfg.TLBEntriesPerSM),
+		}
+	}
+	fw.slots = make([]ksrSlot, fw.activeLimit)
+	return fw, nil
+}
+
+// Engine returns the simulation engine.
+func (fw *Framework) Engine() *sim.Engine { return fw.eng }
+
+// Config returns the machine configuration.
+func (fw *Framework) Config() *gpu.Config { return &fw.cfg }
+
+// Policy returns the installed scheduling policy.
+func (fw *Framework) Policy() Policy { return fw.policy }
+
+// Mechanism returns the installed preemption mechanism.
+func (fw *Framework) Mechanism() Mechanism { return fw.mech }
+
+// Stats returns a snapshot of the activity counters.
+func (fw *Framework) Stats() Stats { return fw.stats }
+
+// Timeline returns the attached timeline recorder (possibly nil).
+func (fw *Framework) Timeline() *Timeline { return fw.timeline }
+
+// NumSMs returns the number of SMs.
+func (fw *Framework) NumSMs() int { return len(fw.sms) }
+
+// ActiveLimit returns the active-queue capacity.
+func (fw *Framework) ActiveLimit() int { return fw.activeLimit }
+
+// --- Submission and activation -----------------------------------------
+
+// Submit delivers a kernel-launch command to the framework (the command
+// dispatcher placing it in the context's command buffer). The command waits
+// until the policy admits it into the active queue.
+func (fw *Framework) Submit(cmd *LaunchCmd) error {
+	if cmd == nil || cmd.Ctx == nil || cmd.Spec == nil {
+		return fmt.Errorf("core: invalid launch command")
+	}
+	if err := cmd.Spec.Validate(); err != nil {
+		return err
+	}
+	if _, err := fw.cfg.Occupancy(cmd.Spec); err != nil {
+		return err
+	}
+	cmd.Launch = fw.nextLaunch()
+	cmd.Enqueued = fw.eng.Now()
+	cmd.Priority = cmd.Ctx.Priority
+	ctxID := cmd.Ctx.ID
+	if len(fw.pending[ctxID]) == 0 {
+		fw.pendingCtxs = append(fw.pendingCtxs, ctxID)
+	}
+	fw.pending[ctxID] = append(fw.pending[ctxID], cmd)
+	fw.stats.KernelsSubmitted++
+	fw.timeline.kernelEnqueued(cmd.Launch, cmd.Spec.Name, ctxID, cmd.Enqueued)
+	fw.tryActivate()
+	return nil
+}
+
+func (fw *Framework) nextLaunch() uint64 {
+	fw.launchSeq++
+	return fw.launchSeq
+}
+
+// PendingContexts returns the ids of contexts whose command buffer holds a
+// command, in arrival order of the buffered command. The returned slice is
+// read-only.
+func (fw *Framework) PendingContexts() []int { return fw.pendingCtxs }
+
+// PendingHead returns the command buffered for the given context, or nil.
+func (fw *Framework) PendingHead(ctxID int) *LaunchCmd {
+	q := fw.pending[ctxID]
+	if len(q) == 0 {
+		return nil
+	}
+	return q[0]
+}
+
+// PendingDepth returns the number of commands queued behind (and including)
+// the context's command buffer.
+func (fw *Framework) PendingDepth(ctxID int) int { return len(fw.pending[ctxID]) }
+
+func (fw *Framework) popPending(ctxID int) *LaunchCmd {
+	q := fw.pending[ctxID]
+	if len(q) == 0 {
+		return nil
+	}
+	cmd := q[0]
+	fw.pending[ctxID] = q[1:]
+	// Remove the context from the arrival-order list, and re-append it if
+	// another command takes over the buffer (its arrival order is the new
+	// head's enqueue order, which is necessarily >= everything queued).
+	for i, id := range fw.pendingCtxs {
+		if id == ctxID {
+			fw.pendingCtxs = append(fw.pendingCtxs[:i], fw.pendingCtxs[i+1:]...)
+			break
+		}
+	}
+	if len(fw.pending[ctxID]) > 0 {
+		fw.insertPendingCtx(ctxID)
+	} else {
+		delete(fw.pending, ctxID)
+	}
+	return cmd
+}
+
+// insertPendingCtx re-inserts ctxID into pendingCtxs keeping the list sorted
+// by head enqueue time (stable on ties by existing order).
+func (fw *Framework) insertPendingCtx(ctxID int) {
+	head := fw.pending[ctxID][0]
+	pos := len(fw.pendingCtxs)
+	for i, id := range fw.pendingCtxs {
+		if fw.pending[id][0].Enqueued > head.Enqueued {
+			pos = i
+			break
+		}
+	}
+	fw.pendingCtxs = append(fw.pendingCtxs, 0)
+	copy(fw.pendingCtxs[pos+1:], fw.pendingCtxs[pos:])
+	fw.pendingCtxs[pos] = ctxID
+}
+
+// tryActivate moves pending commands into the active queue while there is
+// space and the policy admits one.
+func (fw *Framework) tryActivate() {
+	if fw.activating {
+		return // re-entrant call from a policy hook; outer loop continues
+	}
+	fw.activating = true
+	defer func() { fw.activating = false }()
+	for len(fw.active) < fw.activeLimit && len(fw.pendingCtxs) > 0 {
+		ctxID := fw.policy.PickPending(fw)
+		if ctxID < 0 {
+			return
+		}
+		cmd := fw.popPending(ctxID)
+		if cmd == nil {
+			panic(fmt.Sprintf("core: policy %s picked context %d with empty buffer", fw.policy.Name(), ctxID))
+		}
+		k := fw.allocKSR(cmd)
+		fw.active = append(fw.active, k.id)
+		if len(fw.active) > fw.stats.MaxActive {
+			fw.stats.MaxActive = len(fw.active)
+		}
+		fw.stats.KernelsActivated++
+		fw.timeline.kernelActivated(cmd.Launch, fw.eng.Now())
+		fw.policy.OnActivated(fw, k.id)
+	}
+}
+
+func (fw *Framework) allocKSR(cmd *LaunchCmd) *KSR {
+	slot := -1
+	for i := range fw.slots {
+		if fw.slots[i].k == nil {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		panic("core: active queue has space but KSRT is full")
+	}
+	occ, err := fw.cfg.Occupancy(cmd.Spec)
+	if err != nil {
+		panic(fmt.Sprintf("core: occupancy validated at submit but failed at activation: %v", err))
+	}
+	smemCfg, _ := fw.cfg.SharedMemConfigFor(cmd.Spec.SharedMemPerTB)
+	fw.slots[slot].gen++
+	k := &KSR{
+		id:         KernelID{slot: slot, gen: fw.slots[slot].gen},
+		Cmd:        cmd,
+		TBsPerSM:   occ,
+		SmemConfig: smemCfg,
+		Activated:  fw.eng.Now(),
+	}
+	fw.slots[slot].k = k
+	fw.allocSaveArea(k)
+	return k
+}
+
+// allocSaveArea preallocates the kernel's context-save area: space for the
+// contexts of every thread block that could be preempted at once (§3.3: all
+// active thread blocks of a kernel may be preempted).
+func (fw *Framework) allocSaveArea(k *KSR) {
+	if fw.mem == nil {
+		return
+	}
+	maxPreempted := int64(fw.cfg.NumSMs) * int64(k.TBsPerSM)
+	size := maxPreempted * fw.cfg.TBContextBytes(k.Spec())
+	if size <= 0 {
+		return
+	}
+	pa, err := fw.mem.Alloc(k.Ctx().ID, size)
+	if err != nil {
+		fw.stats.SaveAreaFailures++
+		return
+	}
+	va, err := k.Ctx().PageTable.AllocRegion(pa, size)
+	if err != nil {
+		fw.stats.SaveAreaFailures++
+		fw.mem.Free(pa) //nolint:errcheck // just allocated
+		return
+	}
+	k.savePA = pa
+	k.saveVA = va
+}
+
+func (fw *Framework) freeSaveArea(k *KSR) {
+	if fw.mem == nil || k.saveVA == 0 {
+		return
+	}
+	maxPreempted := int64(fw.cfg.NumSMs) * int64(k.TBsPerSM)
+	size := maxPreempted * fw.cfg.TBContextBytes(k.Spec())
+	npages := int((size + mmu.PageSize - 1) / mmu.PageSize)
+	k.Ctx().PageTable.Unmap(k.saveVA, npages) //nolint:errcheck // mapped at alloc
+	fw.mem.Free(k.savePA)                     //nolint:errcheck // allocated at alloc
+	k.saveVA, k.savePA = 0, 0
+}
+
+// --- Accessors for policies and mechanisms ------------------------------
+
+// Active returns the active queue: handles of active kernels in activation
+// order. The returned slice is read-only.
+func (fw *Framework) Active() []KernelID { return fw.active }
+
+// Kernel resolves a handle to its KSR, or nil if the kernel finished (the
+// handle is stale) or the handle is invalid.
+func (fw *Framework) Kernel(id KernelID) *KSR {
+	if id.slot < 0 || id.slot >= len(fw.slots) {
+		return nil
+	}
+	s := fw.slots[id.slot]
+	if s.k == nil || s.gen != id.gen {
+		return nil
+	}
+	return s.k
+}
+
+// SMState returns the SMST entry for the given SM: its state, the kernel
+// occupying it, and the kernel it is reserved for.
+func (fw *Framework) SMState(smID int) (state SMState, ksr, next KernelID) {
+	s := fw.sms[smID]
+	return s.state, s.ksr, s.next
+}
+
+// SMResident returns the number of thread blocks resident on the SM.
+func (fw *Framework) SMResident(smID int) int { return len(fw.sms[smID].resident) }
+
+// IdleSMs returns the ids of all idle SMs.
+func (fw *Framework) IdleSMs() []int {
+	var out []int
+	for _, s := range fw.sms {
+		if s.state == SMIdle {
+			out = append(out, s.id)
+		}
+	}
+	return out
+}
+
+// FirstIdleSM returns the lowest-numbered idle SM, or -1.
+func (fw *Framework) FirstIdleSM() int {
+	for _, s := range fw.sms {
+		if s.state == SMIdle {
+			return s.id
+		}
+	}
+	return -1
+}
+
+// RunningSMsOf returns the SMs currently running on behalf of kernel k
+// (state Running; reserved SMs are excluded since they already changed
+// ownership).
+func (fw *Framework) RunningSMsOf(k KernelID) []int {
+	var out []int
+	for _, s := range fw.sms {
+		if s.state == SMRunning && s.ksr == k {
+			out = append(out, s.id)
+		}
+	}
+	return out
+}
+
+// SMsHeldBy returns the number of SMs attached to kernel k: running for it
+// or reserved for it.
+func (fw *Framework) SMsHeldBy(k KernelID) int {
+	if ksr := fw.Kernel(k); ksr != nil {
+		return ksr.Held
+	}
+	return 0
+}
+
+// DemandSMs estimates how many more SMs kernel k can profitably use: the
+// SMs needed for its issueable thread blocks beyond those already incoming.
+func (fw *Framework) DemandSMs(k KernelID) int {
+	ksr := fw.Kernel(k)
+	if ksr == nil {
+		return 0
+	}
+	uncovered := ksr.IssueableTBs() - ksr.Incoming*ksr.TBsPerSM
+	if uncovered <= 0 {
+		return 0
+	}
+	return (uncovered + ksr.TBsPerSM - 1) / ksr.TBsPerSM
+}
+
+// WantsMoreSMs reports whether kernel k has issueable thread blocks not
+// covered by SMs already on their way to it.
+func (fw *Framework) WantsMoreSMs(k KernelID) bool { return fw.DemandSMs(k) > 0 }
+
+// --- SM assignment ------------------------------------------------------
+
+// AssignSM gives an idle SM to kernel k: the SM driver performs the setup
+// (installing KSR and context state) and then issues thread blocks until
+// the SM is fully occupied (§3.2, Figure 3).
+func (fw *Framework) AssignSM(smID int, kid KernelID) {
+	s := fw.sms[smID]
+	k := fw.Kernel(kid)
+	if k == nil {
+		panic(fmt.Sprintf("core: assigning SM %d to stale kernel %v", smID, kid))
+	}
+	if s.state != SMIdle {
+		panic(fmt.Sprintf("core: assigning non-idle SM %d (state %v)", smID, s.state))
+	}
+	s.state = SMRunning
+	s.ksr = kid
+	s.settingUp = true
+	s.busyFrom = fw.eng.Now()
+	k.Incoming++
+	k.Held++
+	fw.policy.OnSMAttached(fw, kid, smID)
+	fw.timeline.transition(smID, fw.eng.Now(), IntervalSetup, k.Spec().Name, k.Cmd.Launch, k.Ctx().ID)
+	setup := fw.cfg.SMSetupLatency
+	fw.stats.SetupTime += setup
+	fw.eng.After(setup, func() { fw.setupDone(s, kid) })
+}
+
+// setupDone completes SM setup and starts issuing thread blocks.
+func (fw *Framework) setupDone(s *sm, kid KernelID) {
+	s.settingUp = false
+	k := fw.Kernel(kid)
+	if s.state == SMReserved {
+		// The SM was reserved while setting up; run the deferred
+		// preemption now (there is nothing resident, so it is quick).
+		if k != nil {
+			k.Incoming--
+		}
+		fw.mech.Preempt(fw, s.id)
+		return
+	}
+	if k == nil || !k.HasWork() {
+		if k != nil {
+			k.Incoming--
+		}
+		fw.smBecameIdle(s)
+		return
+	}
+	k.Incoming--
+	ctx := k.Ctx()
+	if s.ctxOnSM != ctx.ID {
+		// Installing a different GPU context: load the context-id and base
+		// page-table registers and flush the SM's TLB (§3.1).
+		s.tlb.Flush()
+		s.ctxOnSM = ctx.ID
+	}
+	fw.timeline.transition(s.id, fw.eng.Now(), IntervalRun, k.Spec().Name, k.Cmd.Launch, ctx.ID)
+	fw.fillSM(s)
+	if len(s.resident) == 0 {
+		fw.smBecameIdle(s)
+	}
+}
+
+// fillSM issues thread blocks to the SM until it is fully occupied or the
+// kernel runs out of work.
+func (fw *Framework) fillSM(s *sm) {
+	if s.state != SMRunning || s.settingUp {
+		return
+	}
+	k := fw.Kernel(s.ksr)
+	if k == nil {
+		return
+	}
+	for len(s.resident) < k.TBsPerSM && k.HasWork() {
+		fw.issueTB(s, k)
+	}
+}
+
+// issueTB issues one thread block to the SM. Preempted thread blocks are
+// issued before fresh ones to keep the PTBQ bounded (§3.3); a preempted
+// thread block first restores its context at the SM's bandwidth share.
+func (fw *Framework) issueTB(s *sm, k *KSR) {
+	now := fw.eng.Now()
+	var tb residentTB
+	if len(k.ptbq) > 0 {
+		h := k.ptbq[0]
+		k.ptbq = k.ptbq[1:]
+		restore := fw.cfg.ContextMoveTime(fw.cfg.TBContextBytes(k.Spec()))
+		fw.touchSaveArea(s, k, h.Index)
+		tb = residentTB{index: h.Index, restored: true, start: now, end: now + restore + h.Remaining}
+		fw.stats.TBsRestored++
+		fw.stats.ContextRestored += fw.cfg.TBContextBytes(k.Spec())
+	} else {
+		idx := k.NextTB
+		k.NextTB++
+		tb = residentTB{index: idx, start: now, end: now + fw.tbDuration(k, idx)}
+	}
+	k.Running++
+	fw.stats.TBsIssued++
+	index := tb.index
+	tb.ev = fw.eng.At(tb.end, func() { fw.completeTB(s, index) })
+	s.resident = append(s.resident, tb)
+}
+
+// tbDuration returns the jittered execution time of thread block idx of
+// kernel k.
+func (fw *Framework) tbDuration(k *KSR, idx int) sim.Time {
+	f := rng.JitterFactor(fw.jitter, fw.seed, k.Cmd.Launch, uint64(idx))
+	d := sim.Time(float64(k.Spec().TBTime) * f)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// touchSaveArea exercises the SM's TLB and the process page table for the
+// context save/restore traffic of one thread block (§3.1/§3.2: the trap
+// routine reads and writes the preallocated save area through the process's
+// address space).
+func (fw *Framework) touchSaveArea(s *sm, k *KSR, tbIndex int) {
+	if k.saveVA == 0 {
+		return
+	}
+	bytes := fw.cfg.TBContextBytes(k.Spec())
+	slotBase := k.saveVA + mmu.VAddr(int64(tbIndex%(fw.cfg.NumSMs*k.TBsPerSM))*bytes)
+	// Touch the first byte of each page of the thread block's slot.
+	for off := int64(0); off < bytes; off += mmu.PageSize {
+		s.tlb.Lookup(k.Ctx().PageTable, slotBase+mmu.VAddr(off)) //nolint:errcheck // mapped at activation
+	}
+}
+
+// completeTB handles a thread-block completion on SM s.
+func (fw *Framework) completeTB(s *sm, index int) {
+	k := fw.Kernel(s.ksr)
+	if k == nil {
+		panic(fmt.Sprintf("core: thread block completed on SM %d with stale kernel", s.id))
+	}
+	pos := -1
+	for i := range s.resident {
+		if s.resident[i].index == index {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		panic(fmt.Sprintf("core: completion of non-resident thread block %d on SM %d", index, s.id))
+	}
+	s.resident = append(s.resident[:pos], s.resident[pos+1:]...)
+	k.Running--
+	k.Done++
+	fw.stats.TBsCompleted++
+
+	finished := k.Finished()
+	switch s.state {
+	case SMRunning:
+		if !finished && k.HasWork() {
+			fw.fillSM(s)
+		}
+		if finished {
+			fw.finishKernel(k)
+		}
+		// The SM idles only if the policy hooks run by finishKernel did not
+		// re-purpose it: a hook may have reserved it (state Reserved) or,
+		// via an empty-SM preemption completing synchronously, already
+		// started setting it up for another kernel (settingUp).
+		if len(s.resident) == 0 && s.state == SMRunning && !s.settingUp {
+			fw.smBecameIdle(s)
+		}
+	case SMReserved:
+		if finished {
+			fw.finishKernel(k)
+		}
+		fw.mech.OnTBFinished(fw, s.id)
+	default:
+		panic(fmt.Sprintf("core: thread block completed on idle SM %d", s.id))
+	}
+}
+
+// smBecameIdle transitions an SM to idle and lets the policy react.
+func (fw *Framework) smBecameIdle(s *sm) {
+	prev := s.ksr
+	if s.busyFrom >= 0 {
+		fw.stats.SMBusyTime += fw.eng.Now() - s.busyFrom
+	}
+	s.state = SMIdle
+	s.ksr = NoKernel
+	s.next = NoKernel
+	s.draining = false
+	s.saving = false
+	s.busyFrom = -1
+	fw.timeline.closeOpen(s.id, fw.eng.Now())
+	if k := fw.Kernel(prev); k != nil {
+		k.Held--
+		fw.policy.OnSMDetached(fw, prev, s.id)
+	}
+	fw.policy.OnSMIdle(fw, s.id)
+}
+
+// finishKernel retires a completed kernel: it leaves the active queue, its
+// KSR is freed, the process is notified, and pending commands get a chance
+// to activate.
+func (fw *Framework) finishKernel(k *KSR) {
+	if !k.Finished() {
+		panic("core: finishing unfinished kernel")
+	}
+	if len(k.ptbq) != 0 {
+		panic("core: finishing kernel with preempted thread blocks")
+	}
+	for i, id := range fw.active {
+		if id == k.id {
+			fw.active = append(fw.active[:i], fw.active[i+1:]...)
+			break
+		}
+	}
+	fw.freeSaveArea(k)
+	fw.slots[k.id.slot].k = nil
+	fw.stats.KernelsFinished++
+	fw.timeline.kernelFinished(k.Cmd.Launch, fw.eng.Now())
+	fw.policy.OnKernelFinished(fw, k.id)
+	if k.Cmd.OnDone != nil {
+		k.Cmd.OnDone(fw.eng.Now())
+	}
+	fw.tryActivate()
+}
+
+// --- Preemption ----------------------------------------------------------
+
+// ReserveSM reserves a running SM for kernel kid: the current kernel is
+// preempted through the framework's mechanism, and once preemption
+// completes the SM is set up for kid (§3.2). Ownership (for accounting and
+// DSS tokens) transfers at reservation time.
+func (fw *Framework) ReserveSM(smID int, kid KernelID) {
+	s := fw.sms[smID]
+	next := fw.Kernel(kid)
+	if next == nil {
+		panic(fmt.Sprintf("core: reserving SM %d for stale kernel %v", smID, kid))
+	}
+	if s.state != SMRunning {
+		panic(fmt.Sprintf("core: reserving SM %d in state %v", smID, s.state))
+	}
+	old := s.ksr
+	s.state = SMReserved
+	s.next = kid
+	next.Incoming++
+	next.Held++
+	fw.stats.Preemptions++
+	if ko := fw.Kernel(old); ko != nil {
+		ko.Held--
+		fw.timeline.kernelPreempted(ko.Cmd.Launch)
+		fw.policy.OnSMDetached(fw, old, smID)
+	}
+	fw.policy.OnSMAttached(fw, kid, smID)
+	if !s.settingUp {
+		fw.mech.Preempt(fw, smID)
+	}
+}
+
+// RetargetSM changes the kernel a reserved SM is destined for (§3.4: the
+// scheduler may change the kernel for which an SM is reserved during the
+// preemption of that SM).
+func (fw *Framework) RetargetSM(smID int, kid KernelID) {
+	s := fw.sms[smID]
+	if s.state != SMReserved {
+		panic(fmt.Sprintf("core: retargeting SM %d in state %v", smID, s.state))
+	}
+	if s.next == kid {
+		return
+	}
+	next := fw.Kernel(kid)
+	if next == nil {
+		panic(fmt.Sprintf("core: retargeting SM %d to stale kernel %v", smID, kid))
+	}
+	if old := fw.Kernel(s.next); old != nil {
+		old.Incoming--
+		old.Held--
+		fw.policy.OnSMDetached(fw, s.next, smID)
+	}
+	s.next = kid
+	next.Incoming++
+	next.Held++
+	fw.policy.OnSMAttached(fw, kid, smID)
+}
+
+// CancelResident stops every resident thread block of a reserved SM and
+// returns their preemption handles (index and remaining execution time).
+// Used by the context-switch mechanism at the freeze point.
+func (fw *Framework) CancelResident(smID int) []PreemptedTB {
+	s := fw.sms[smID]
+	k := fw.Kernel(s.ksr)
+	now := fw.eng.Now()
+	out := make([]PreemptedTB, 0, len(s.resident))
+	for i := range s.resident {
+		tb := &s.resident[i]
+		tb.ev.Cancel()
+		rem := tb.end - now
+		if rem < 0 {
+			rem = 0
+		}
+		out = append(out, PreemptedTB{Index: tb.index, Remaining: rem})
+		if k != nil {
+			k.Running--
+		}
+		fw.stats.TBsPreempted++
+	}
+	s.resident = s.resident[:0]
+	return out
+}
+
+// PushPreempted appends preempted thread-block handles to the kernel's
+// PTBQ. The framework issues PTBQ entries before fresh thread blocks, which
+// bounds the queue to NumSMs x TBsPerSM entries (§3.3).
+func (fw *Framework) PushPreempted(kid KernelID, tbs []PreemptedTB) {
+	k := fw.Kernel(kid)
+	if k == nil {
+		panic(fmt.Sprintf("core: pushing preempted thread blocks of stale kernel %v", kid))
+	}
+	k.ptbq = append(k.ptbq, tbs...)
+	limit := fw.cfg.NumSMs * k.TBsPerSM
+	if len(k.ptbq) > limit {
+		panic(fmt.Sprintf("core: PTBQ overflow for kernel %s: %d > %d", k.Spec().Name, len(k.ptbq), limit))
+	}
+	if len(k.ptbq) > fw.stats.MaxPTBQ {
+		fw.stats.MaxPTBQ = len(k.ptbq)
+	}
+}
+
+// SaveContext accounts for the context of the given thread blocks being
+// written to the kernel's save area and returns the time the store traffic
+// occupies the SM (at its share of memory bandwidth).
+func (fw *Framework) SaveContext(smID int, kid KernelID, tbs []PreemptedTB) sim.Time {
+	k := fw.Kernel(kid)
+	if k == nil || len(tbs) == 0 {
+		return 0
+	}
+	s := fw.sms[smID]
+	bytes := fw.cfg.TBContextBytes(k.Spec()) * int64(len(tbs))
+	for _, tb := range tbs {
+		fw.touchSaveArea(s, k, tb.Index)
+	}
+	fw.stats.ContextSavedBytes += bytes
+	return fw.cfg.ContextMoveTime(bytes)
+}
+
+// SMKernel returns the kernel whose thread blocks occupy the SM.
+func (fw *Framework) SMKernel(smID int) KernelID { return fw.sms[smID].ksr }
+
+// SMNext returns the kernel the SM is reserved for.
+func (fw *Framework) SMNext(smID int) KernelID { return fw.sms[smID].next }
+
+// MarkDraining flags the SM as draining (timeline bookkeeping for the
+// draining mechanism).
+func (fw *Framework) MarkDraining(smID int) {
+	s := fw.sms[smID]
+	s.draining = true
+	if k := fw.Kernel(s.ksr); k != nil {
+		fw.timeline.transition(smID, fw.eng.Now(), IntervalDrain, k.Spec().Name, k.Cmd.Launch, k.Ctx().ID)
+	}
+}
+
+// MarkSaving flags the SM as saving context (timeline bookkeeping for the
+// context-switch mechanism).
+func (fw *Framework) MarkSaving(smID int, dur sim.Time) {
+	s := fw.sms[smID]
+	s.saving = true
+	fw.stats.SaveTime += dur
+	if k := fw.Kernel(s.ksr); k != nil {
+		fw.timeline.transition(smID, fw.eng.Now(), IntervalSave, k.Spec().Name, k.Cmd.Launch, k.Ctx().ID)
+	}
+}
+
+// PreemptionDone is called by the mechanism when the SM has no resident
+// thread blocks left. The SM driver then sets the SM up for the kernel it
+// was reserved for, or idles it if that kernel no longer needs it.
+func (fw *Framework) PreemptionDone(smID int) {
+	s := fw.sms[smID]
+	if s.state != SMReserved {
+		panic(fmt.Sprintf("core: preemption done on SM %d in state %v", smID, s.state))
+	}
+	if len(s.resident) != 0 {
+		panic(fmt.Sprintf("core: preemption done on SM %d with %d resident thread blocks", smID, len(s.resident)))
+	}
+	if s.draining {
+		fw.stats.DrainTime += fw.eng.Now() - timelineStart(fw, smID)
+	}
+	s.draining = false
+	s.saving = false
+	fw.stats.PreemptionsDone++
+	fw.policy.OnPreemptionDone(fw, smID)
+
+	kid := s.next
+	s.next = NoKernel
+	next := fw.Kernel(kid)
+	if next == nil || !next.HasWork() {
+		if next != nil {
+			next.Incoming--
+			next.Held--
+			fw.policy.OnSMDetached(fw, kid, s.id)
+		}
+		s.state = SMIdle
+		s.ksr = NoKernel
+		if s.busyFrom >= 0 {
+			fw.stats.SMBusyTime += fw.eng.Now() - s.busyFrom
+			s.busyFrom = -1
+		}
+		fw.timeline.closeOpen(s.id, fw.eng.Now())
+		fw.policy.OnSMIdle(fw, s.id)
+		return
+	}
+	s.state = SMRunning
+	s.ksr = kid
+	s.settingUp = true
+	fw.timeline.transition(s.id, fw.eng.Now(), IntervalSetup, next.Spec().Name, next.Cmd.Launch, next.Ctx().ID)
+	setup := fw.cfg.SMSetupLatency
+	fw.stats.SetupTime += setup
+	fw.eng.After(setup, func() { fw.setupDone(s, kid) })
+}
+
+// timelineStart returns the start of the SM's open timeline interval, or
+// the current time when no timeline is attached (making DrainTime zero).
+func timelineStart(fw *Framework, smID int) sim.Time {
+	if fw.timeline == nil {
+		return fw.eng.Now()
+	}
+	if iv := fw.timeline.open[smID]; iv != nil {
+		return iv.Start
+	}
+	return fw.eng.Now()
+}
+
+// Utilization returns the fraction of SM time spent busy from the epoch to
+// now, counting in-flight busy periods.
+func (fw *Framework) Utilization(now sim.Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	busy := fw.stats.SMBusyTime
+	for _, s := range fw.sms {
+		if s.state != SMIdle && s.busyFrom >= 0 {
+			busy += now - s.busyFrom
+		}
+	}
+	return float64(busy) / (float64(now) * float64(len(fw.sms)))
+}
+
+// TLBStats sums TLB statistics across SMs.
+func (fw *Framework) TLBStats() (hits, misses, faults uint64) {
+	for _, s := range fw.sms {
+		hits += s.tlb.Hits
+		misses += s.tlb.Misses
+		faults += s.tlb.Faults
+	}
+	return
+}

@@ -1,0 +1,77 @@
+package core
+
+// Policy is a scheduling policy plugged into the framework (§3.3). The
+// framework invokes the policy on the events the paper names — a kernel
+// entering the active queue (OnActivated) and an SM becoming idle (OnSMIdle)
+// — plus bookkeeping hooks. Policies act by calling Framework.AssignSM,
+// Framework.ReserveSM and Framework.RetargetSM.
+//
+// Policies are completely oblivious to the preemption mechanism in use: the
+// framework routes a reservation through whichever Mechanism it was built
+// with.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+
+	// PickPending selects which pending context's head command (its command
+	// buffer content) to move into the active queue next, returning the
+	// context id, or -1 to leave all commands pending. The framework calls
+	// it repeatedly while the active queue has free entries.
+	PickPending(fw *Framework) int
+
+	// OnActivated runs after kernel k entered the active queue.
+	OnActivated(fw *Framework, k KernelID)
+
+	// OnSMIdle runs when SM sm has become idle.
+	OnSMIdle(fw *Framework, smID int)
+
+	// OnPreemptionDone runs when the preemption of SM sm completed, before
+	// the SM is set up for the kernel it was reserved for. The policy may
+	// retarget the reservation (Framework.RetargetSM) to cope with the
+	// dynamic nature of the system (§3.4).
+	OnPreemptionDone(fw *Framework, smID int)
+
+	// OnKernelFinished runs after kernel k completed and left the active
+	// queue (its handle is already stale).
+	OnKernelFinished(fw *Framework, k KernelID)
+
+	// OnSMAttached runs when an SM is assigned or reserved for kernel k
+	// (DSS spends a token here).
+	OnSMAttached(fw *Framework, k KernelID, smID int)
+
+	// OnSMDetached runs when an SM is deassigned from kernel k, due to
+	// preemption or the kernel running out of work (DSS returns the token
+	// here). It is not called for kernels that already finished.
+	OnSMDetached(fw *Framework, k KernelID, smID int)
+}
+
+// BasePolicy provides no-op implementations of the optional hooks so that
+// concrete policies only implement what they need.
+type BasePolicy struct{}
+
+// OnPreemptionDone implements Policy.
+func (BasePolicy) OnPreemptionDone(fw *Framework, smID int) {}
+
+// OnKernelFinished implements Policy.
+func (BasePolicy) OnKernelFinished(fw *Framework, k KernelID) {}
+
+// OnSMAttached implements Policy.
+func (BasePolicy) OnSMAttached(fw *Framework, k KernelID, smID int) {}
+
+// OnSMDetached implements Policy.
+func (BasePolicy) OnSMDetached(fw *Framework, k KernelID, smID int) {}
+
+// Mechanism is a preemption mechanism (§3.2). The framework calls Preempt
+// when an SM is reserved; the mechanism must eventually bring the SM to zero
+// resident thread blocks and call Framework.PreemptionDone.
+type Mechanism interface {
+	// Name identifies the mechanism in reports.
+	Name() string
+
+	// Preempt begins preempting SM sm. The SM is in the Reserved state.
+	Preempt(fw *Framework, smID int)
+
+	// OnTBFinished runs when a thread block finishes on a reserved SM
+	// (used by the draining mechanism to detect completion).
+	OnTBFinished(fw *Framework, smID int)
+}

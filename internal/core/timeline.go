@@ -1,0 +1,201 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// IntervalKind labels what an SM was doing during a timeline interval.
+type IntervalKind int
+
+// Interval kinds.
+const (
+	// IntervalSetup is the SM driver setting up the SM for a kernel.
+	IntervalSetup IntervalKind = iota
+	// IntervalRun is the SM executing thread blocks.
+	IntervalRun
+	// IntervalDrain is the SM draining (reserved, finishing resident
+	// thread blocks, issuing nothing new).
+	IntervalDrain
+	// IntervalSave is the SM saving the context of its resident thread
+	// blocks to off-chip memory.
+	IntervalSave
+)
+
+func (k IntervalKind) String() string {
+	switch k {
+	case IntervalSetup:
+		return "setup"
+	case IntervalRun:
+		return "run"
+	case IntervalDrain:
+		return "drain"
+	case IntervalSave:
+		return "save"
+	}
+	return "?"
+}
+
+// Interval is one contiguous activity of an SM on behalf of one kernel.
+type Interval struct {
+	SM     int
+	Kind   IntervalKind
+	Start  sim.Time
+	End    sim.Time
+	Kernel string
+	Launch uint64
+	CtxID  int
+}
+
+// KernelSpan records the lifetime of one kernel launch.
+type KernelSpan struct {
+	Kernel    string
+	CtxID     int
+	Launch    uint64
+	Enqueued  sim.Time
+	Activated sim.Time
+	Finished  sim.Time
+	Preempted int // number of times one of its SMs was preempted away
+}
+
+// Timeline records per-SM activity intervals and kernel spans. A nil
+// *Timeline is valid and records nothing, so recording can be disabled
+// without sprinkling conditionals.
+type Timeline struct {
+	open      map[int]*Interval
+	Intervals []Interval
+	spans     map[uint64]*KernelSpan
+	Spans     []KernelSpan
+}
+
+// NewTimeline returns an empty timeline recorder.
+func NewTimeline() *Timeline {
+	return &Timeline{
+		open:  make(map[int]*Interval),
+		spans: make(map[uint64]*KernelSpan),
+	}
+}
+
+// transition closes the SM's open interval (if any) at time now and opens a
+// new one of the given kind, unless kind < 0 in which case the SM goes
+// quiet.
+func (t *Timeline) transition(smID int, now sim.Time, kind IntervalKind, kernel string, launch uint64, ctxID int) {
+	if t == nil {
+		return
+	}
+	t.closeOpen(smID, now)
+	t.open[smID] = &Interval{
+		SM: smID, Kind: kind, Start: now, End: -1,
+		Kernel: kernel, Launch: launch, CtxID: ctxID,
+	}
+}
+
+func (t *Timeline) closeOpen(smID int, now sim.Time) {
+	if t == nil {
+		return
+	}
+	if iv := t.open[smID]; iv != nil {
+		iv.End = now
+		if iv.End > iv.Start {
+			t.Intervals = append(t.Intervals, *iv)
+		}
+		delete(t.open, smID)
+	}
+}
+
+func (t *Timeline) kernelEnqueued(launch uint64, kernel string, ctxID int, at sim.Time) {
+	if t == nil {
+		return
+	}
+	t.spans[launch] = &KernelSpan{
+		Kernel: kernel, CtxID: ctxID, Launch: launch,
+		Enqueued: at, Activated: -1, Finished: -1,
+	}
+}
+
+func (t *Timeline) kernelActivated(launch uint64, at sim.Time) {
+	if t == nil {
+		return
+	}
+	if s := t.spans[launch]; s != nil {
+		s.Activated = at
+	}
+}
+
+func (t *Timeline) kernelPreempted(launch uint64) {
+	if t == nil {
+		return
+	}
+	if s := t.spans[launch]; s != nil {
+		s.Preempted++
+	}
+}
+
+func (t *Timeline) kernelFinished(launch uint64, at sim.Time) {
+	if t == nil {
+		return
+	}
+	if s := t.spans[launch]; s != nil {
+		s.Finished = at
+		t.Spans = append(t.Spans, *s)
+		delete(t.spans, launch)
+	}
+}
+
+// Finish closes all open intervals at time now and sorts the records.
+func (t *Timeline) Finish(now sim.Time) {
+	if t == nil {
+		return
+	}
+	for smID := range t.open {
+		t.closeOpen(smID, now)
+	}
+	sort.Slice(t.Intervals, func(i, j int) bool {
+		if t.Intervals[i].Start != t.Intervals[j].Start {
+			return t.Intervals[i].Start < t.Intervals[j].Start
+		}
+		return t.Intervals[i].SM < t.Intervals[j].SM
+	})
+	sort.Slice(t.Spans, func(i, j int) bool { return t.Spans[i].Launch < t.Spans[j].Launch })
+}
+
+// BusyTime returns the total SM time spent in the given interval kinds.
+func (t *Timeline) BusyTime(kinds ...IntervalKind) sim.Time {
+	if t == nil {
+		return 0
+	}
+	want := make(map[IntervalKind]bool, len(kinds))
+	for _, k := range kinds {
+		want[k] = true
+	}
+	var total sim.Time
+	for _, iv := range t.Intervals {
+		if want[iv.Kind] {
+			total += iv.End - iv.Start
+		}
+	}
+	return total
+}
+
+// Stats aggregates the framework's activity counters.
+type Stats struct {
+	KernelsSubmitted  int
+	KernelsActivated  int
+	KernelsFinished   int
+	TBsIssued         int
+	TBsCompleted      int
+	TBsPreempted      int
+	TBsRestored       int
+	Preemptions       int // SM reservations
+	PreemptionsDone   int
+	ContextSavedBytes int64
+	ContextRestored   int64
+	SaveTime          sim.Time // total time SMs spent saving context
+	DrainTime         sim.Time // total time SMs spent draining
+	SetupTime         sim.Time
+	SMBusyTime        sim.Time // integral of busy SMs over time
+	MaxPTBQ           int
+	MaxActive         int
+	SaveAreaFailures  int
+}

@@ -1,0 +1,124 @@
+// Package cpu models the host processor of Table 2: a multi-core CPU
+// (4 cores, 2-way SMT in the evaluation machine) on which the processes'
+// CPU phases execute. With at most one runnable phase per process and
+// workloads of up to 8 processes, contention is rare — exactly why the
+// paper's methodology can use coarse CPU traces — but the model makes the
+// assumption checkable rather than implicit: when more phases are runnable
+// than hardware threads, the excess waits, and when SMT siblings share a
+// core, both phases run at a configurable slowdown.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Config describes the host CPU.
+type Config struct {
+	// Cores is the number of physical cores.
+	Cores int
+	// ThreadsPerCore is the SMT width.
+	ThreadsPerCore int
+	// SMTSlowdown is the factor applied to a phase's duration while more
+	// phases are running than physical cores (SMT siblings sharing
+	// pipelines). 1.0 disables the penalty.
+	SMTSlowdown float64
+}
+
+// DefaultConfig returns the Table 2 host (4 cores, 2-way threading).
+func DefaultConfig() Config {
+	return Config{Cores: 4, ThreadsPerCore: 2, SMTSlowdown: 1.25}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.Cores <= 0:
+		return fmt.Errorf("cpu: Cores must be positive, got %d", c.Cores)
+	case c.ThreadsPerCore <= 0:
+		return fmt.Errorf("cpu: ThreadsPerCore must be positive, got %d", c.ThreadsPerCore)
+	case c.SMTSlowdown < 1:
+		return fmt.Errorf("cpu: SMTSlowdown must be >= 1, got %v", c.SMTSlowdown)
+	}
+	return nil
+}
+
+// Model is the host CPU scheduler. Phases are served FCFS when all hardware
+// threads are busy. The SMT penalty is applied pessimistically at dispatch
+// time based on the occupancy at that moment (a deterministic, conservative
+// approximation that avoids re-scaling in-flight phases).
+type Model struct {
+	eng   *sim.Engine
+	cfg   Config
+	busy  int
+	queue []pending
+
+	// Stats
+	Dispatched uint64
+	Queued     uint64
+	BusyTime   sim.Time
+}
+
+type pending struct {
+	dur  sim.Time
+	done func()
+}
+
+// New builds a CPU model.
+func New(eng *sim.Engine, cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{eng: eng, cfg: cfg}, nil
+}
+
+// Config returns the CPU configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Busy returns the number of running phases.
+func (m *Model) Busy() int { return m.busy }
+
+// QueueLen returns the number of waiting phases.
+func (m *Model) QueueLen() int { return len(m.queue) }
+
+// Exec runs a CPU phase of the given duration, invoking done when it
+// completes. Zero-duration phases complete via a zero-delay event to keep
+// event ordering consistent.
+func (m *Model) Exec(dur sim.Time, done func()) {
+	if dur < 0 {
+		panic("cpu: negative phase duration")
+	}
+	if done == nil {
+		panic("cpu: nil completion callback")
+	}
+	if m.busy >= m.cfg.Cores*m.cfg.ThreadsPerCore {
+		m.Queued++
+		m.queue = append(m.queue, pending{dur: dur, done: done})
+		return
+	}
+	m.dispatch(dur, done)
+}
+
+func (m *Model) dispatch(dur sim.Time, done func()) {
+	m.busy++
+	m.Dispatched++
+	effective := dur
+	if m.busy > m.cfg.Cores && m.cfg.SMTSlowdown > 1 {
+		effective = sim.Time(float64(dur) * m.cfg.SMTSlowdown)
+	}
+	m.BusyTime += effective
+	m.eng.After(effective, func() {
+		m.busy--
+		done()
+		m.drain()
+	})
+}
+
+func (m *Model) drain() {
+	for len(m.queue) > 0 && m.busy < m.cfg.Cores*m.cfg.ThreadsPerCore {
+		next := m.queue[0]
+		m.queue = m.queue[1:]
+		m.dispatch(next.dur, next.done)
+	}
+}

@@ -1,0 +1,353 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/metrics"
+	"repro/internal/pcie"
+	"repro/internal/policy"
+	"repro/internal/preempt"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// AblationPoint is one configuration of a one-dimensional sweep.
+type AblationPoint struct {
+	Param  string
+	Values map[string]float64
+}
+
+// AblationResult is a one-dimensional design-space sweep.
+type AblationResult struct {
+	Name    string
+	Columns []string
+	Points  []AblationPoint
+}
+
+// Table renders the sweep.
+func (r *AblationResult) Table() *Table {
+	t := &Table{
+		Title:  "Ablation: " + r.Name,
+		Header: append([]string{"param"}, r.Columns...),
+	}
+	for _, p := range r.Points {
+		row := []string{p.Param}
+		for _, c := range r.Columns {
+			row = append(row, fmt.Sprintf("%.3f", p.Values[c]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// ablationWorkloads builds the fixed workload set used by the sweeps:
+// PerSize random 4-process workloads with a high-priority process.
+func ablationWorkloads(h *Harness, withHP bool) []workload.Spec {
+	return workload.Random(h.Suite, 4, h.Opts.PerSize, h.Opts.Seed+4, withHP)
+}
+
+// AblationPipelineDrain sweeps the pipeline-drain latency that precedes the
+// context-save trap (§3.2: precise exceptions) and reports the mean
+// high-priority NTT improvement of PPQ-CS over FCFS.
+func AblationPipelineDrain(o Options, latencies []sim.Time) (*AblationResult, error) {
+	h := NewHarness(o)
+	if len(latencies) == 0 {
+		latencies = []sim.Time{0, sim.Microseconds(0.5), sim.Microseconds(1),
+			sim.Microseconds(2), sim.Microseconds(4), sim.Microseconds(8)}
+	}
+	specs := ablationWorkloads(h, true)
+	res := &AblationResult{Name: "pipeline-drain latency before context save",
+		Columns: []string{"hp NTT improvement", "STP"}}
+	for _, lat := range latencies {
+		impAgg, stpAgg := 0.0, 0.0
+		n := 0
+		for _, spec := range specs {
+			base := spec
+			base.HighPriority = -1
+			baseRes, err := h.run(base, h.runConfig(pcie.FCFS{}),
+				func(int) core.Policy { return policy.NewFCFS() }, nil, "FCFS")
+			if err != nil {
+				return nil, err
+			}
+			baseNTT, err := h.appNTT(baseRes, 0)
+			if err != nil {
+				return nil, err
+			}
+			rc := h.runConfig(pcie.PriorityFCFS{})
+			rc.Sys.GPU.PipelineDrainLatency = lat
+			r, err := h.run(spec, rc,
+				func(int) core.Policy { return policy.NewPPQ(false) },
+				func() core.Mechanism { return preempt.ContextSwitch{} },
+				fmt.Sprintf("PPQ-CS/%v", lat))
+			if err != nil {
+				return nil, err
+			}
+			ntt, err := h.appNTT(r, 0)
+			if err != nil {
+				return nil, err
+			}
+			perfs, err := h.perf(r)
+			if err != nil {
+				return nil, err
+			}
+			sum, err := metrics.Summarize(perfs)
+			if err != nil {
+				return nil, err
+			}
+			impAgg += baseNTT / ntt
+			stpAgg += sum.STP
+			n++
+		}
+		res.Points = append(res.Points, AblationPoint{
+			Param: lat.String(),
+			Values: map[string]float64{
+				"hp NTT improvement": impAgg / float64(n),
+				"STP":                stpAgg / float64(n),
+			},
+		})
+	}
+	return res, nil
+}
+
+// AblationJitter sweeps thread-block time variability and reports the STP
+// degradation of DSS (both mechanisms) over FCFS: the paper attributes the
+// draining mechanism's extra throughput loss to variable thread-block times
+// leaving draining SMs underutilized (§4.3).
+func AblationJitter(o Options, jitters []float64) (*AblationResult, error) {
+	if len(jitters) == 0 {
+		jitters = []float64{0, 0.15, 0.30, 0.50}
+	}
+	res := &AblationResult{Name: "thread-block time variability",
+		Columns: []string{"DSS-CS STP degradation", "DSS-Drain STP degradation"}}
+	for _, j := range jitters {
+		oj := o
+		oj.Jitter = j
+		if j == 0 {
+			oj.Jitter = -1 // Options treats 0 as "default"; negative disables
+		}
+		h := NewHarness(oj)
+		if oj.Jitter < 0 {
+			h.Opts.Jitter = 0
+		}
+		specs := ablationWorkloads(h, false)
+		var degCS, degDrain float64
+		n := 0
+		for _, spec := range specs {
+			rcBase := h.runConfig(pcie.FCFS{})
+			rcBase.Sys.Jitter = h.Opts.Jitter
+			baseRes, err := h.run(spec, rcBase, func(n int) core.Policy { return policy.NewFCFS() }, nil, "FCFS")
+			if err != nil {
+				return nil, err
+			}
+			basePerfs, err := h.perf(baseRes)
+			if err != nil {
+				return nil, err
+			}
+			baseSum, err := metrics.Summarize(basePerfs)
+			if err != nil {
+				return nil, err
+			}
+			stpOf := func(mech core.Mechanism) (float64, error) {
+				rc := h.runConfig(pcie.FCFS{})
+				rc.Sys.Jitter = h.Opts.Jitter
+				r, err := h.run(spec, rc,
+					func(n int) core.Policy { return policy.NewDSS(n) },
+					func() core.Mechanism { return mech }, "DSS/"+mech.Name())
+				if err != nil {
+					return 0, err
+				}
+				perfs, err := h.perf(r)
+				if err != nil {
+					return 0, err
+				}
+				sum, err := metrics.Summarize(perfs)
+				if err != nil {
+					return 0, err
+				}
+				return sum.STP, nil
+			}
+			stpCS, err := stpOf(preempt.ContextSwitch{})
+			if err != nil {
+				return nil, err
+			}
+			stpDrain, err := stpOf(preempt.Drain{})
+			if err != nil {
+				return nil, err
+			}
+			if stpCS > 0 && stpDrain > 0 && baseSum.STP > 0 {
+				degCS += baseSum.STP / stpCS
+				degDrain += baseSum.STP / stpDrain
+				n++
+			}
+		}
+		res.Points = append(res.Points, AblationPoint{
+			Param: fmt.Sprintf("%.0f%%", h.Opts.Jitter*100),
+			Values: map[string]float64{
+				"DSS-CS STP degradation":    degCS / float64(n),
+				"DSS-Drain STP degradation": degDrain / float64(n),
+			},
+		})
+	}
+	return res, nil
+}
+
+// AblationActiveLimit sweeps the active-kernel limit (§3.3 fixes it to the
+// number of SMs) and reports DSS ANTT on 8-process workloads.
+func AblationActiveLimit(o Options, limits []int) (*AblationResult, error) {
+	h := NewHarness(o)
+	if len(limits) == 0 {
+		limits = []int{2, 4, 8, 13, 26}
+	}
+	specs := workload.Random(h.Suite, 8, h.Opts.PerSize, h.Opts.Seed+8, false)
+	res := &AblationResult{Name: "active-kernel limit (KSRT/active-queue capacity)",
+		Columns: []string{"DSS-CS ANTT"}}
+	for _, lim := range limits {
+		antt := 0.0
+		n := 0
+		for _, spec := range specs {
+			rc := h.runConfig(pcie.FCFS{})
+			rc.Sys.ActiveLimit = lim
+			r, err := h.run(spec, rc,
+				func(n int) core.Policy { return policy.NewDSS(n) },
+				func() core.Mechanism { return preempt.ContextSwitch{} },
+				fmt.Sprintf("DSS/limit=%d", lim))
+			if err != nil {
+				return nil, err
+			}
+			perfs, err := h.perf(r)
+			if err != nil {
+				return nil, err
+			}
+			sum, err := metrics.Summarize(perfs)
+			if err != nil {
+				return nil, err
+			}
+			antt += sum.ANTT
+			n++
+		}
+		res.Points = append(res.Points, AblationPoint{
+			Param:  fmt.Sprintf("%d", lim),
+			Values: map[string]float64{"DSS-CS ANTT": antt / float64(n)},
+		})
+	}
+	return res, nil
+}
+
+// AblationTokens compares equal DSS token budgets against
+// priority-weighted budgets (the high-priority process gets twice the
+// share), reporting the high-priority NTT improvement and overall ANTT.
+func AblationTokens(o Options) (*AblationResult, error) {
+	h := NewHarness(o)
+	specs := ablationWorkloads(h, true)
+	res := &AblationResult{Name: "DSS token weighting (equal vs 2x high-priority share)",
+		Columns: []string{"hp NTT improvement", "ANTT"}}
+	for _, weighted := range []bool{false, true} {
+		imp, antt := 0.0, 0.0
+		n := 0
+		for _, spec := range specs {
+			base := spec
+			base.HighPriority = -1
+			baseRes, err := h.run(base, h.runConfig(pcie.FCFS{}),
+				func(int) core.Policy { return policy.NewFCFS() }, nil, "FCFS")
+			if err != nil {
+				return nil, err
+			}
+			baseNTT, err := h.appNTT(baseRes, 0)
+			if err != nil {
+				return nil, err
+			}
+			pol := func(nproc int) core.Policy {
+				p := policy.NewDSS(nproc)
+				if weighted {
+					p.TokenFunc = func(fw *core.Framework, k *core.KSR) int {
+						shares := nproc + 1 // high-priority counts twice
+						tc := fw.NumSMs() / shares
+						if k.Priority() > 0 {
+							return 2 * tc
+						}
+						return tc
+					}
+				}
+				return p
+			}
+			r, err := h.run(spec, h.runConfig(pcie.FCFS{}), pol,
+				func() core.Mechanism { return preempt.ContextSwitch{} },
+				fmt.Sprintf("DSS/weighted=%v", weighted))
+			if err != nil {
+				return nil, err
+			}
+			ntt, err := h.appNTT(r, 0)
+			if err != nil {
+				return nil, err
+			}
+			perfs, err := h.perf(r)
+			if err != nil {
+				return nil, err
+			}
+			sum, err := metrics.Summarize(perfs)
+			if err != nil {
+				return nil, err
+			}
+			imp += baseNTT / ntt
+			antt += sum.ANTT
+			n++
+		}
+		label := "equal"
+		if weighted {
+			label = "2x-high-priority"
+		}
+		res.Points = append(res.Points, AblationPoint{
+			Param: label,
+			Values: map[string]float64{
+				"hp NTT improvement": imp / float64(n),
+				"ANTT":               antt / float64(n),
+			},
+		})
+	}
+	return res, nil
+}
+
+// AblationSharedMem reports how restricting the shared-memory configuration
+// changes occupancy and context-save time for the kernels of Table 1.
+func AblationSharedMem() (*Table, error) {
+	small := gpu.DefaultConfig()
+	small.SharedMemConfigs = []int{16 * 1024, 32 * 1024, 48 * 1024}
+	wide := gpu.DefaultConfig()
+	wide.SharedMemConfigs = []int{48 * 1024}
+
+	rows, err := RunTable1()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Ablation: shared-memory configuration (first-fit 16/32/48KB vs always 48KB)",
+		Header: []string{"app", "kernel", "TBs/SM (first-fit)", "TBs/SM (48KB)", "save us (first-fit)", "save us (48KB)"},
+	}
+	for _, r := range rows {
+		spec := r.Spec()
+		occFit, err := small.Occupancy(&spec)
+		if err != nil {
+			return nil, err
+		}
+		occWide, err := wide.Occupancy(&spec)
+		if err != nil {
+			return nil, err
+		}
+		saveFit, err := small.SaveTime(&spec)
+		if err != nil {
+			return nil, err
+		}
+		saveWide, err := wide.SaveTime(&spec)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			r.App, r.Kernel,
+			fmt.Sprintf("%d", occFit), fmt.Sprintf("%d", occWide),
+			fmt.Sprintf("%.2f", saveFit.Microseconds()), fmt.Sprintf("%.2f", saveWide.Microseconds()),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BarChart renders labeled values as a horizontal ASCII bar chart, scaled to
+// width characters for the largest value. It is used by cmd/experiments to
+// make figure shapes visible directly in a terminal.
+func BarChart(title string, labels []string, values []float64, width int) string {
+	if len(labels) != len(values) || len(labels) == 0 {
+		return ""
+	}
+	if width <= 0 {
+		width = 50
+	}
+	max := values[0]
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, v := range values {
+		n := int(v / max * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		if v > 0 && n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(&b, "%-*s |%s %.2f\n", labelW, labels[i], strings.Repeat("#", n), v)
+	}
+	return b.String()
+}
+
+// Fig5Chart renders the AVERAGE rows of Figure 5 as bar charts per size.
+func (r *Fig5Result) Chart(width int) string {
+	var b strings.Builder
+	for _, size := range r.Sizes {
+		labels := make([]string, 0, len(r.Schedulers))
+		values := make([]float64, 0, len(r.Schedulers))
+		for _, s := range r.Schedulers {
+			if v, ok := r.Improvement("AVERAGE", s, size); ok {
+				labels = append(labels, s)
+				values = append(values, v)
+			}
+		}
+		if len(values) == 0 {
+			continue
+		}
+		b.WriteString(BarChart(fmt.Sprintf("%d processes: NTT improvement over FCFS (x)", size),
+			labels, values, width))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Chart renders Figure 7's average improvements as bar charts per size.
+func (r *Fig7Result) Chart(width int) string {
+	var b strings.Builder
+	for _, size := range r.Sizes {
+		var labels []string
+		var values []float64
+		for _, conf := range []string{ConfDSSCS, ConfDSSDrain} {
+			if v, ok := r.NTTImprovement("AVERAGE", conf, size); ok {
+				labels = append(labels, conf+" NTT")
+				values = append(values, v)
+			}
+			if v, ok := r.FairnessImprovement(conf, size); ok {
+				labels = append(labels, conf+" fairness")
+				values = append(values, v)
+			}
+		}
+		if len(values) == 0 {
+			continue
+		}
+		b.WriteString(BarChart(fmt.Sprintf("%d processes: improvement over FCFS (x)", size),
+			labels, values, width))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,241 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4) plus the ablations listed in DESIGN.md. Each experiment
+// returns structured results and can render itself as an aligned text table
+// or CSV.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/parboil"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+	"repro/internal/system"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Options parameterize an experiment run.
+type Options struct {
+	// Sizes are the workload sizes (processes per workload). Default
+	// {2, 4, 6, 8} as in the paper.
+	Sizes []int
+	// PerSize is the number of random workloads per size. For the priority
+	// experiments it should be a multiple of the suite size (10) so every
+	// benchmark is the high-priority process equally often. Default 10.
+	PerSize int
+	// Seed drives workload generation and machine jitter.
+	Seed uint64
+	// MinRuns is the replay threshold (3 in the paper).
+	MinRuns int
+	// Scale divides benchmark sizes for quick runs (1 = paper-faithful).
+	Scale int
+	// Jitter is the per-thread-block time variability. Default 0.30.
+	Jitter float64
+	// Progress, when non-nil, receives one line per completed simulation.
+	Progress io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Sizes) == 0 {
+		o.Sizes = []int{2, 4, 6, 8}
+	}
+	if o.PerSize <= 0 {
+		o.PerSize = 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 2014
+	}
+	if o.MinRuns <= 0 {
+		o.MinRuns = 3
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Jitter == 0 {
+		o.Jitter = 0.30
+	}
+	return o
+}
+
+// Harness carries the benchmark suite and shared isolated baselines across
+// experiments.
+type Harness struct {
+	Opts  Options
+	Suite []*trace.App
+	iso   *workload.Cache
+}
+
+// NewHarness builds a harness with the (possibly scaled) Parboil suite.
+func NewHarness(o Options) *Harness {
+	o = o.withDefaults()
+	suite := parboil.Suite()
+	if o.Scale > 1 {
+		for i, a := range suite {
+			suite[i] = a.Scale(o.Scale)
+		}
+	}
+	return &Harness{Opts: o, Suite: suite, iso: workload.NewCache()}
+}
+
+// runConfig returns a workload run configuration with the given transfer
+// engine policy.
+func (h *Harness) runConfig(dma pcie.QueuePolicy) workload.RunConfig {
+	sys := system.DefaultConfig()
+	sys.Jitter = h.Opts.Jitter
+	sys.Seed = h.Opts.Seed
+	sys.DMAPolicy = dma
+	return workload.RunConfig{Sys: sys, MinRuns: h.Opts.MinRuns}
+}
+
+// Isolated returns the application's isolated baseline turnaround.
+func (h *Harness) Isolated(app *trace.App) (sim.Time, error) {
+	return h.iso.Isolated(app, h.runConfig(pcie.FCFS{}))
+}
+
+// run simulates one workload under the given policy/mechanism factories.
+func (h *Harness) run(spec workload.Spec, rc workload.RunConfig,
+	pol func(n int) core.Policy, mech func() core.Mechanism, label string) (*workload.Result, error) {
+	rc.Policy = pol
+	rc.Mechanism = mech
+	res, err := workload.Run(spec, rc)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s on %s: %w", label, spec.Name, err)
+	}
+	if h.Opts.Progress != nil {
+		fmt.Fprintf(h.Opts.Progress, "  %-10s %-9s end=%-12v util=%.2f preempt=%d\n",
+			spec.Name, label, res.EndTime, res.Utilization, res.Stats.Preemptions)
+	}
+	return res, nil
+}
+
+// perf builds the per-application performance pairs for a workload result.
+func (h *Harness) perf(res *workload.Result) ([]metrics.AppPerf, error) {
+	perfs := make([]metrics.AppPerf, 0, len(res.Apps))
+	for i, ar := range res.Apps {
+		iso, err := h.Isolated(res.Spec.Apps[i])
+		if err != nil {
+			return nil, err
+		}
+		perfs = append(perfs, metrics.AppPerf{Name: ar.Name, Isolated: iso, Shared: ar.MeanTurnaround})
+	}
+	return perfs, nil
+}
+
+// appNTT returns the normalized turnaround time of application index i.
+func (h *Harness) appNTT(res *workload.Result, i int) (float64, error) {
+	iso, err := h.Isolated(res.Spec.Apps[i])
+	if err != nil {
+		return 0, err
+	}
+	p := metrics.AppPerf{Name: res.Apps[i].Name, Isolated: iso, Shared: res.Apps[i].MeanTurnaround}
+	return p.NTT(), nil
+}
+
+// --- aggregation ----------------------------------------------------------
+
+// meanAgg accumulates values keyed by an arbitrary comparable key.
+type meanAgg[K comparable] struct {
+	sum map[K]float64
+	n   map[K]int
+}
+
+func newMeanAgg[K comparable]() *meanAgg[K] {
+	return &meanAgg[K]{sum: make(map[K]float64), n: make(map[K]int)}
+}
+
+func (a *meanAgg[K]) add(k K, v float64) {
+	a.sum[k] += v
+	a.n[k]++
+}
+
+func (a *meanAgg[K]) mean(k K) (float64, bool) {
+	if a.n[k] == 0 {
+		return 0, false
+	}
+	return a.sum[k] / float64(a.n[k]), true
+}
+
+func (a *meanAgg[K]) count(k K) int { return a.n[k] }
+
+// --- generic table rendering ----------------------------------------------
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Render returns the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// WriteCSV writes the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	write := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

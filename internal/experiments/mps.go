@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/pcie"
+	"repro/internal/policy"
+	"repro/internal/preempt"
+	"repro/internal/workload"
+)
+
+// MPSResult compares the software sharing solution the paper discusses in
+// §2.1 — NVIDIA MPS, where a proxy process runs all clients in one GPU
+// context — against serialized FCFS contexts and against the paper's DSS.
+// MPS regains cross-process concurrency (back-to-back execution on the FCFS
+// engine) but cannot enforce per-process scheduling and breaks memory
+// isolation; DSS achieves concurrency with isolation intact.
+type MPSResult struct {
+	Sizes []int
+	mean  *meanAgg[fig7Key]
+}
+
+// MPS configuration labels.
+const (
+	ConfMPS = "MPS (shared context)"
+)
+
+// Metric returns the mean of the named metric ("ANTT", "STP", "fairness")
+// for the configuration at the given size.
+func (r *MPSResult) Metric(conf, metric string, size int) (float64, bool) {
+	return r.mean.mean(fig7Key{Conf: conf + "/" + metric, Size: size})
+}
+
+// Table renders the comparison.
+func (r *MPSResult) Table() *Table {
+	t := &Table{
+		Title:  "MPS comparison: shared-context software sharing vs FCFS and DSS",
+		Header: []string{"procs", "config", "ANTT", "STP", "fairness"},
+	}
+	for _, size := range r.Sizes {
+		for _, conf := range []string{ConfFCFS, ConfMPS, ConfDSSCS} {
+			row := []string{fmt.Sprintf("%d", size), conf}
+			for _, m := range []string{"ANTT", "STP", "fairness"} {
+				if v, ok := r.Metric(conf, m, size); ok {
+					row = append(row, fmt.Sprintf("%.3f", v))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t
+}
+
+// RunMPS runs the MPS comparison on random workloads without priorities.
+func RunMPS(o Options) (*MPSResult, error) {
+	h := NewHarness(o)
+	o = h.Opts
+	res := &MPSResult{Sizes: o.Sizes, mean: newMeanAgg[fig7Key]()}
+
+	type conf struct {
+		label string
+		pol   func(n int) core.Policy
+		mk    func() core.Mechanism
+		mps   bool
+	}
+	confs := []conf{
+		{ConfFCFS, func(n int) core.Policy { return policy.NewFCFS() }, nil, false},
+		{ConfMPS, func(n int) core.Policy { return policy.NewFCFS() }, nil, true},
+		{ConfDSSCS, func(n int) core.Policy { return policy.NewDSS(n) },
+			func() core.Mechanism { return preempt.ContextSwitch{} }, false},
+	}
+	for _, size := range o.Sizes {
+		specs := workload.Random(h.Suite, size, o.PerSize, o.Seed+uint64(size), false)
+		for _, spec := range specs {
+			for _, c := range confs {
+				rc := h.runConfig(pcie.FCFS{})
+				rc.MPS = c.mps
+				r, err := h.run(spec, rc, c.pol, c.mk, c.label)
+				if err != nil {
+					return nil, err
+				}
+				perfs, err := h.perf(r)
+				if err != nil {
+					return nil, err
+				}
+				sum, err := metrics.Summarize(perfs)
+				if err != nil {
+					return nil, err
+				}
+				res.mean.add(fig7Key{Conf: c.label + "/ANTT", Size: size}, sum.ANTT)
+				res.mean.add(fig7Key{Conf: c.label + "/STP", Size: size}, sum.STP)
+				res.mean.add(fig7Key{Conf: c.label + "/fairness", Size: size}, sum.Fairness)
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/pcie"
+	"repro/internal/policy"
+	"repro/internal/preempt"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// RunStaticVsDSS compares static spatial multitasking (Adriaens et al.,
+// which §5 contrasts with this paper) against DSS: both partition the SMs
+// among processes, but DSS repartitions dynamically and lets kernels go
+// into token debt to soak up idle SMs. With heterogeneous applications the
+// static partition idles whenever its owner is between kernels, so DSS
+// should win on STP and ANTT.
+func RunStaticVsDSS(o Options) (*MPSResult, error) {
+	h := NewHarness(o)
+	o = h.Opts
+	res := &MPSResult{Sizes: o.Sizes, mean: newMeanAgg[fig7Key]()}
+	type conf struct {
+		label string
+		pol   func(n int) core.Policy
+		mk    func() core.Mechanism
+	}
+	confs := []conf{
+		{"Static partition", func(n int) core.Policy { return policy.NewStatic(n) }, nil},
+		{ConfDSSCS, func(n int) core.Policy { return policy.NewDSS(n) },
+			func() core.Mechanism { return preempt.ContextSwitch{} }},
+	}
+	for _, size := range o.Sizes {
+		specs := workload.Random(h.Suite, size, o.PerSize, o.Seed+uint64(size), false)
+		for _, spec := range specs {
+			for _, c := range confs {
+				r, err := h.run(spec, h.runConfig(pcie.FCFS{}), c.pol, c.mk, c.label)
+				if err != nil {
+					return nil, err
+				}
+				perfs, err := h.perf(r)
+				if err != nil {
+					return nil, err
+				}
+				sum, err := metrics.Summarize(perfs)
+				if err != nil {
+					return nil, err
+				}
+				res.mean.add(fig7Key{Conf: c.label + "/ANTT", Size: size}, sum.ANTT)
+				res.mean.add(fig7Key{Conf: c.label + "/STP", Size: size}, sum.STP)
+				res.mean.add(fig7Key{Conf: c.label + "/fairness", Size: size}, sum.Fairness)
+			}
+		}
+	}
+	return res, nil
+}
+
+// StaticVsDSSTable renders the comparison.
+func StaticVsDSSTable(r *MPSResult) *Table {
+	t := &Table{
+		Title:  "Static spatial partitioning (Adriaens et al.) vs DSS",
+		Header: []string{"procs", "config", "ANTT", "STP", "fairness"},
+	}
+	for _, size := range r.Sizes {
+		for _, conf := range []string{"Static partition", ConfDSSCS} {
+			row := []string{fmt.Sprintf("%d", size), conf}
+			for _, m := range []string{"ANTT", "STP", "fairness"} {
+				if v, ok := r.Metric(conf, m, size); ok {
+					row = append(row, fmt.Sprintf("%.3f", v))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t
+}
+
+// RunSlicing compares software kernel slicing (§5: Basaran & Kang, elastic
+// kernels, Kernelet) against hardware preemption for serving a
+// high-priority process. Slicing creates preemption points at slice
+// boundaries under a plain priority scheduler with no preemption hardware;
+// smaller slices reduce the high-priority waiting time but add
+// kernel-launch overheads that erode throughput — while PPQ with the
+// context-switch mechanism gets low latency without slicing costs.
+func RunSlicing(o Options, sliceSizes []int) (*AblationResult, error) {
+	h := NewHarness(o)
+	o = h.Opts
+	if len(sliceSizes) == 0 {
+		// Slices expressed in thread blocks; 0 = unsliced NPQ baseline.
+		sliceSizes = []int{0, 512, 128, 32}
+	}
+	specs := workload.Random(h.Suite, 4, o.PerSize, o.Seed+4, true)
+	res := &AblationResult{
+		Name:    "software kernel slicing vs hardware preemption (4-process workloads)",
+		Columns: []string{"hp NTT improvement", "STP"},
+	}
+
+	eval := func(label string, transform func(*trace.App) *trace.App,
+		pol func(n int) core.Policy, mk func() core.Mechanism) error {
+		imp, stp := 0.0, 0.0
+		n := 0
+		for _, spec := range specs {
+			base := spec
+			base.HighPriority = -1
+			baseRes, err := h.run(base, h.runConfig(pcie.FCFS{}),
+				func(int) core.Policy { return policy.NewFCFS() }, nil, "FCFS")
+			if err != nil {
+				return err
+			}
+			baseNTT, err := h.appNTT(baseRes, 0)
+			if err != nil {
+				return err
+			}
+			run := spec
+			if transform != nil {
+				apps := make([]*trace.App, len(spec.Apps))
+				for i, a := range spec.Apps {
+					apps[i] = transform(a)
+				}
+				run.Apps = apps
+			}
+			r, err := h.run(run, h.runConfig(pcie.PriorityFCFS{}), pol, mk, label)
+			if err != nil {
+				return err
+			}
+			// NTT of the high-priority app: isolated baselines come from
+			// the unsliced traces (slicing changes the trace, not the app).
+			iso, err := h.Isolated(spec.Apps[0])
+			if err != nil {
+				return err
+			}
+			hp := metrics.AppPerf{Name: r.Apps[0].Name, Isolated: iso, Shared: r.Apps[0].MeanTurnaround}
+			perfs := make([]metrics.AppPerf, len(r.Apps))
+			for i := range r.Apps {
+				isoI, err := h.Isolated(spec.Apps[i])
+				if err != nil {
+					return err
+				}
+				perfs[i] = metrics.AppPerf{Name: r.Apps[i].Name, Isolated: isoI, Shared: r.Apps[i].MeanTurnaround}
+			}
+			sum, err := metrics.Summarize(perfs)
+			if err != nil {
+				return err
+			}
+			imp += baseNTT / hp.NTT()
+			stp += sum.STP
+			n++
+		}
+		res.Points = append(res.Points, AblationPoint{
+			Param: label,
+			Values: map[string]float64{
+				"hp NTT improvement": imp / float64(n),
+				"STP":                stp / float64(n),
+			},
+		})
+		return nil
+	}
+
+	for _, slice := range sliceSizes {
+		label := "NPQ unsliced"
+		var transform func(*trace.App) *trace.App
+		if slice > 0 {
+			label = fmt.Sprintf("NPQ sliced @%d TBs", slice)
+			s := slice
+			transform = func(a *trace.App) *trace.App { return trace.SliceKernels(a, s) }
+		}
+		if err := eval(label, transform,
+			func(n int) core.Policy { return policy.NewNPQ() }, nil); err != nil {
+			return nil, err
+		}
+	}
+	// Hardware preemption reference.
+	if err := eval("PPQ context switch (hardware)", nil,
+		func(n int) core.Policy { return policy.NewPPQ(false) },
+		func() core.Mechanism { return preempt.ContextSwitch{} }); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,174 @@
+package gmem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocFreeBasic(t *testing.T) {
+	m := NewManager(1 << 20)
+	a, err := m.Alloc(1, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Alloc(2, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("overlapping allocations")
+	}
+	if m.Used() != 3072 {
+		t.Errorf("Used = %d, want 3072", m.Used())
+	}
+	if m.OwnedBy(1) != 1024 || m.OwnedBy(2) != 2048 {
+		t.Errorf("ownership accounting wrong: %d/%d", m.OwnedBy(1), m.OwnedBy(2))
+	}
+	if err := m.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if m.Used() != 2048 {
+		t.Errorf("Used after free = %d", m.Used())
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	m := NewManager(4096)
+	if _, err := m.Alloc(0, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Alloc(0, 1); err == nil {
+		t.Fatal("allocation beyond capacity succeeded (no demand paging!)")
+	}
+}
+
+func TestAllocRejectsNonPositive(t *testing.T) {
+	m := NewManager(4096)
+	if _, err := m.Alloc(0, 0); err == nil {
+		t.Fatal("Alloc(0) succeeded")
+	}
+	if _, err := m.Alloc(0, -5); err == nil {
+		t.Fatal("Alloc(-5) succeeded")
+	}
+}
+
+func TestFreeUnknownAddress(t *testing.T) {
+	m := NewManager(4096)
+	if err := m.Free(123); err == nil {
+		t.Fatal("freeing unallocated address succeeded")
+	}
+}
+
+func TestFreeCoalesces(t *testing.T) {
+	m := NewManager(4096)
+	a, _ := m.Alloc(0, 1024)
+	b, _ := m.Alloc(0, 1024)
+	c, _ := m.Alloc(0, 1024)
+	m.Free(a)
+	m.Free(c)
+	if m.FreeSpans() != 3 { // [a], [c..end] disjoint, plus tail merged with c
+		t.Logf("free spans = %d", m.FreeSpans())
+	}
+	m.Free(b)
+	if m.FreeSpans() != 1 {
+		t.Fatalf("free list not coalesced: %d spans", m.FreeSpans())
+	}
+	// The whole arena should be allocatable again.
+	if _, err := m.Alloc(0, 4096); err != nil {
+		t.Fatalf("arena not whole after coalescing: %v", err)
+	}
+}
+
+func TestFreeOwner(t *testing.T) {
+	m := NewManager(1 << 20)
+	for i := 0; i < 5; i++ {
+		if _, err := m.Alloc(7, 1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Alloc(8, 512); err != nil {
+		t.Fatal(err)
+	}
+	freed := m.FreeOwner(7)
+	if freed != 5*1024 {
+		t.Fatalf("FreeOwner freed %d, want %d", freed, 5*1024)
+	}
+	if m.OwnedBy(7) != 0 {
+		t.Errorf("owner 7 still owns %d", m.OwnedBy(7))
+	}
+	if m.OwnedBy(8) != 512 {
+		t.Errorf("owner 8 lost memory")
+	}
+}
+
+func TestReuseAfterFree(t *testing.T) {
+	m := NewManager(4096)
+	a, _ := m.Alloc(0, 4096)
+	m.Free(a)
+	b, err := m.Alloc(0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("first-fit should reuse the freed span (got %v, want %v)", b, a)
+	}
+}
+
+func TestNewManagerPanicsOnZeroSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewManager(0) did not panic")
+		}
+	}()
+	NewManager(0)
+}
+
+// Property: any sequence of alloc/free keeps accounting consistent:
+// Used() equals the sum of live allocation sizes, and allocations never
+// overlap.
+func TestAllocatorConsistencyProperty(t *testing.T) {
+	type op struct {
+		Alloc bool
+		Size  uint16
+	}
+	f := func(ops []op) bool {
+		m := NewManager(1 << 18)
+		type live struct {
+			base PAddr
+			size int64
+		}
+		var lives []live
+		var total int64
+		for _, o := range ops {
+			if o.Alloc || len(lives) == 0 {
+				size := int64(o.Size%4096) + 1
+				base, err := m.Alloc(0, size)
+				if err != nil {
+					continue // exhausted is fine
+				}
+				// check overlap
+				for _, l := range lives {
+					if base < l.base+PAddr(l.size) && l.base < base+PAddr(size) {
+						return false
+					}
+				}
+				lives = append(lives, live{base, size})
+				total += size
+			} else {
+				idx := int(o.Size) % len(lives)
+				if err := m.Free(lives[idx].base); err != nil {
+					return false
+				}
+				total -= lives[idx].size
+				lives = append(lives[:idx], lives[idx+1:]...)
+			}
+			if m.Used() != total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

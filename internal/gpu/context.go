@@ -1,0 +1,78 @@
+package gpu
+
+import (
+	"fmt"
+
+	"repro/internal/mmu"
+)
+
+// Context is a GPU context: the per-process state the GPU holds (§2.1).
+// Each process that uses the GPU gets its own context, containing the page
+// table of its GPU address space and scheduling attributes consulted by the
+// policies (priority for the priority-queue schedulers, token budget for
+// DSS).
+type Context struct {
+	// ID is the GPU context id; it doubles as the address-space identifier
+	// programmed into the SM's context-id register (§3.1).
+	ID int
+	// Name labels the owning process (for reports and timelines).
+	Name string
+	// Priority orders contexts for the priority-queue schedulers; larger is
+	// more important.
+	Priority int
+	// PageTable is the per-process GPU page table, walked from the base
+	// page-table register of SMs running this context's kernels.
+	PageTable *mmu.PageTable
+}
+
+// ContextTable is the execution engine's table of active contexts (§3.1).
+// The SM driver reads it during SM setup to install per-context state (the
+// context id and base page-table registers) into the SM.
+type ContextTable struct {
+	capacity int
+	byID     map[int]*Context
+	nextID   int
+}
+
+// NewContextTable returns a context table with the given capacity.
+func NewContextTable(capacity int) *ContextTable {
+	if capacity <= 0 {
+		panic("gpu: non-positive context table capacity")
+	}
+	return &ContextTable{capacity: capacity, byID: make(map[int]*Context)}
+}
+
+// Create allocates a new context with the next free id.
+func (t *ContextTable) Create(name string, priority int) (*Context, error) {
+	if len(t.byID) >= t.capacity {
+		return nil, fmt.Errorf("gpu: context table full (%d contexts)", t.capacity)
+	}
+	id := t.nextID
+	t.nextID++
+	ctx := &Context{
+		ID:        id,
+		Name:      name,
+		Priority:  priority,
+		PageTable: mmu.NewPageTable(id),
+	}
+	t.byID[id] = ctx
+	return ctx, nil
+}
+
+// Lookup returns the context with the given id, or nil.
+func (t *ContextTable) Lookup(id int) *Context { return t.byID[id] }
+
+// Destroy removes the context with the given id.
+func (t *ContextTable) Destroy(id int) error {
+	if _, ok := t.byID[id]; !ok {
+		return fmt.Errorf("gpu: destroying unknown context %d", id)
+	}
+	delete(t.byID, id)
+	return nil
+}
+
+// Len returns the number of active contexts.
+func (t *ContextTable) Len() int { return len(t.byID) }
+
+// Capacity returns the table capacity.
+func (t *ContextTable) Capacity() int { return t.capacity }

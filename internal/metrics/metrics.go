@@ -1,0 +1,91 @@
+// Package metrics implements the system-level multiprogram performance
+// metrics of Eyerman & Eeckhout used in the paper's evaluation (§4.1):
+// normalized turnaround time (NTT), average normalized turnaround time
+// (ANTT), system throughput (STP) and fairness.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// AppPerf pairs an application's isolated and multiprogrammed mean
+// turnaround times.
+type AppPerf struct {
+	Name string
+	// Isolated is the mean turnaround when run alone.
+	Isolated sim.Time
+	// Shared is the mean turnaround in the multiprogrammed workload;
+	// zero means the application never completed (starvation).
+	Shared sim.Time
+}
+
+// NTT returns the normalized turnaround time T_shared / T_isolated: the
+// application's slowdown in the multiprogrammed workload. A starved
+// application (Shared == 0) has NTT = +Inf.
+func (p AppPerf) NTT() float64 {
+	if p.Isolated <= 0 {
+		return math.NaN()
+	}
+	if p.Shared <= 0 {
+		return math.Inf(1)
+	}
+	return float64(p.Shared) / float64(p.Isolated)
+}
+
+// NP returns the normalized progress T_isolated / T_shared (the reciprocal
+// of NTT); a starved application has NP = 0.
+func (p AppPerf) NP() float64 {
+	if p.Shared <= 0 {
+		return 0
+	}
+	return float64(p.Isolated) / float64(p.Shared)
+}
+
+// Summary aggregates a workload's metrics.
+type Summary struct {
+	// ANTT is the arithmetic mean of per-application NTTs (lower is
+	// better; 1 = no slowdown).
+	ANTT float64
+	// STP is the sum of normalized progress values: the work done per unit
+	// time, between 0 and the number of applications (higher is better).
+	STP float64
+	// Fairness is min normalized progress over max normalized progress:
+	// 1 = all applications slowed equally, 0 = some application starves.
+	Fairness float64
+	// NTTs holds the per-application normalized turnaround times.
+	NTTs []float64
+}
+
+// Summarize computes the workload metrics from per-application
+// performances.
+func Summarize(perfs []AppPerf) (Summary, error) {
+	if len(perfs) == 0 {
+		return Summary{}, fmt.Errorf("metrics: no applications")
+	}
+	var s Summary
+	minNP, maxNP := math.Inf(1), math.Inf(-1)
+	for _, p := range perfs {
+		if p.Isolated <= 0 {
+			return Summary{}, fmt.Errorf("metrics: app %s has no isolated baseline", p.Name)
+		}
+		ntt := p.NTT()
+		np := p.NP()
+		s.NTTs = append(s.NTTs, ntt)
+		s.ANTT += ntt
+		s.STP += np
+		if np < minNP {
+			minNP = np
+		}
+		if np > maxNP {
+			maxNP = np
+		}
+	}
+	s.ANTT /= float64(len(perfs))
+	if maxNP > 0 {
+		s.Fairness = minNP / maxNP
+	}
+	return s, nil
+}

@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestNTTAndNP(t *testing.T) {
+	p := AppPerf{Name: "a", Isolated: 100, Shared: 250}
+	if got := p.NTT(); got != 2.5 {
+		t.Errorf("NTT = %v, want 2.5", got)
+	}
+	if got := p.NP(); got != 0.4 {
+		t.Errorf("NP = %v, want 0.4", got)
+	}
+}
+
+func TestNTTStarvation(t *testing.T) {
+	p := AppPerf{Name: "a", Isolated: 100, Shared: 0}
+	if !math.IsInf(p.NTT(), 1) {
+		t.Error("starved NTT should be +Inf")
+	}
+	if p.NP() != 0 {
+		t.Error("starved NP should be 0")
+	}
+}
+
+func TestNTTWithoutBaseline(t *testing.T) {
+	p := AppPerf{Name: "a", Isolated: 0, Shared: 50}
+	if !math.IsNaN(p.NTT()) {
+		t.Error("NTT without baseline should be NaN")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	perfs := []AppPerf{
+		{Name: "a", Isolated: 100, Shared: 200}, // NTT 2, NP 0.5
+		{Name: "b", Isolated: 100, Shared: 400}, // NTT 4, NP 0.25
+	}
+	s, err := Summarize(perfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ANTT != 3 {
+		t.Errorf("ANTT = %v, want 3", s.ANTT)
+	}
+	if s.STP != 0.75 {
+		t.Errorf("STP = %v, want 0.75", s.STP)
+	}
+	if s.Fairness != 0.5 {
+		t.Errorf("Fairness = %v, want 0.5 (0.25/0.5)", s.Fairness)
+	}
+	if len(s.NTTs) != 2 || s.NTTs[0] != 2 || s.NTTs[1] != 4 {
+		t.Errorf("NTTs = %v", s.NTTs)
+	}
+}
+
+func TestSummarizePerfectFairness(t *testing.T) {
+	perfs := []AppPerf{
+		{Name: "a", Isolated: 100, Shared: 200},
+		{Name: "b", Isolated: 50, Shared: 100},
+	}
+	s, err := Summarize(perfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fairness != 1 {
+		t.Errorf("equal slowdowns should give fairness 1, got %v", s.Fairness)
+	}
+}
+
+func TestSummarizeStarvationGivesZeroFairness(t *testing.T) {
+	perfs := []AppPerf{
+		{Name: "a", Isolated: 100, Shared: 150},
+		{Name: "b", Isolated: 100, Shared: 0}, // starved
+	}
+	s, err := Summarize(perfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fairness != 0 {
+		t.Errorf("fairness with starvation = %v, want 0", s.Fairness)
+	}
+	if !math.IsInf(s.ANTT, 1) {
+		t.Errorf("ANTT with starvation should be +Inf")
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Summarize([]AppPerf{{Name: "a", Isolated: 0, Shared: 10}}); err == nil {
+		t.Error("missing baseline accepted")
+	}
+}
+
+func TestIsolatedRunHasIdealMetrics(t *testing.T) {
+	s, err := Summarize([]AppPerf{{Name: "a", Isolated: 123, Shared: 123}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ANTT != 1 || s.STP != 1 || s.Fairness != 1 {
+		t.Errorf("ideal metrics: ANTT=%v STP=%v F=%v, want all 1", s.ANTT, s.STP, s.Fairness)
+	}
+}
+
+// Property: for any positive inputs, fairness is in [0,1], STP is in
+// (0, n], and ANTT >= max(1, ...) when shared >= isolated.
+func TestMetricBoundsProperty(t *testing.T) {
+	f := func(raw []struct{ Iso, Extra uint16 }) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		perfs := make([]AppPerf, len(raw))
+		for i, r := range raw {
+			iso := sim.Time(r.Iso) + 1
+			perfs[i] = AppPerf{
+				Name:     "x",
+				Isolated: iso,
+				Shared:   iso + sim.Time(r.Extra), // shared >= isolated
+			}
+		}
+		s, err := Summarize(perfs)
+		if err != nil {
+			return false
+		}
+		if s.Fairness < 0 || s.Fairness > 1+1e-12 {
+			return false
+		}
+		if s.STP <= 0 || s.STP > float64(len(raw))+1e-12 {
+			return false
+		}
+		return s.ANTT >= 1-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

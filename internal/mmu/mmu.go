@@ -1,0 +1,214 @@
+// Package mmu models per-context GPU address translation: two-level page
+// tables walked from a base page-table register, and per-SM TLBs.
+//
+// The paper's multiprogramming extensions (§3.1) give every SM a GPU context
+// id register and a base page table register so that SMs running kernels
+// from different processes translate through different page tables. The
+// simulator uses the MMU on the context save/restore path (the trap routine
+// writes the saved context through the virtual address space of its process)
+// and to enforce isolation between contexts.
+package mmu
+
+import (
+	"fmt"
+
+	"repro/internal/gmem"
+)
+
+// VAddr is a GPU virtual address.
+type VAddr uint64
+
+// PageSize is the GPU page size. GPUs use large pages; 64 KiB matches
+// contemporary NVIDIA MMUs.
+const PageSize = 64 * 1024
+
+const (
+	level1Bits = 10
+	level2Bits = 10
+	pageShift  = 16 // log2(PageSize)
+)
+
+// PageTable is a two-level per-context page table. Its "root" stands in for
+// the physical location named by the base page table register of §3.1.
+type PageTable struct {
+	ASID int // address-space identifier (the GPU context id)
+	root map[uint64]*ptLevel2
+	next VAddr // simple growing virtual address space
+}
+
+type ptLevel2 struct {
+	entries map[uint64]gmem.PAddr
+}
+
+// NewPageTable returns an empty page table for the given address space.
+func NewPageTable(asid int) *PageTable {
+	return &PageTable{
+		ASID: asid,
+		root: make(map[uint64]*ptLevel2),
+		next: PageSize, // keep page 0 unmapped to catch null derefs
+	}
+}
+
+// Map installs translations for npages pages starting at va -> pa.
+func (pt *PageTable) Map(va VAddr, pa gmem.PAddr, npages int) error {
+	if va%PageSize != 0 {
+		return fmt.Errorf("mmu: unaligned virtual address %#x", uint64(va))
+	}
+	for i := 0; i < npages; i++ {
+		v := va + VAddr(i*PageSize)
+		l1 := uint64(v) >> (pageShift + level2Bits)
+		l2 := (uint64(v) >> pageShift) & ((1 << level2Bits) - 1)
+		tbl := pt.root[l1]
+		if tbl == nil {
+			tbl = &ptLevel2{entries: make(map[uint64]gmem.PAddr)}
+			pt.root[l1] = tbl
+		}
+		if _, dup := tbl.entries[l2]; dup {
+			return fmt.Errorf("mmu: double map of va %#x in asid %d", uint64(v), pt.ASID)
+		}
+		tbl.entries[l2] = pa + gmem.PAddr(i*PageSize)
+	}
+	return nil
+}
+
+// Unmap removes translations for npages pages starting at va.
+func (pt *PageTable) Unmap(va VAddr, npages int) error {
+	for i := 0; i < npages; i++ {
+		v := va + VAddr(i*PageSize)
+		l1 := uint64(v) >> (pageShift + level2Bits)
+		l2 := (uint64(v) >> pageShift) & ((1 << level2Bits) - 1)
+		tbl := pt.root[l1]
+		if tbl == nil {
+			return fmt.Errorf("mmu: unmap of unmapped va %#x in asid %d", uint64(v), pt.ASID)
+		}
+		if _, ok := tbl.entries[l2]; !ok {
+			return fmt.Errorf("mmu: unmap of unmapped va %#x in asid %d", uint64(v), pt.ASID)
+		}
+		delete(tbl.entries, l2)
+		if len(tbl.entries) == 0 {
+			delete(pt.root, l1)
+		}
+	}
+	return nil
+}
+
+// Translate walks the page table (two levels) and returns the physical
+// address for va, or an error on a page fault.
+func (pt *PageTable) Translate(va VAddr) (gmem.PAddr, error) {
+	l1 := uint64(va) >> (pageShift + level2Bits)
+	l2 := (uint64(va) >> pageShift) & ((1 << level2Bits) - 1)
+	tbl := pt.root[l1]
+	if tbl == nil {
+		return 0, fmt.Errorf("mmu: page fault at va %#x in asid %d (no L1 entry)", uint64(va), pt.ASID)
+	}
+	pa, ok := tbl.entries[l2]
+	if !ok {
+		return 0, fmt.Errorf("mmu: page fault at va %#x in asid %d (no L2 entry)", uint64(va), pt.ASID)
+	}
+	return pa + gmem.PAddr(uint64(va)&(PageSize-1)), nil
+}
+
+// Mapped returns the number of mapped pages.
+func (pt *PageTable) Mapped() int {
+	n := 0
+	for _, tbl := range pt.root {
+		n += len(tbl.entries)
+	}
+	return n
+}
+
+// AllocRegion reserves a fresh region of virtual address space covering
+// size bytes and maps it to pa. It returns the base virtual address.
+func (pt *PageTable) AllocRegion(pa gmem.PAddr, size int64) (VAddr, error) {
+	npages := int((size + PageSize - 1) / PageSize)
+	va := pt.next
+	if err := pt.Map(va, pa, npages); err != nil {
+		return 0, err
+	}
+	pt.next += VAddr(npages * PageSize)
+	return va, nil
+}
+
+// TLB is a per-SM translation lookaside buffer with LRU replacement. A miss
+// walks the page table selected by the SM's base page table register (here:
+// the PageTable passed to Lookup).
+type TLB struct {
+	capacity int
+	entries  map[tlbKey]*tlbEntry
+	clock    uint64
+
+	Hits   uint64
+	Misses uint64
+	Faults uint64
+}
+
+type tlbKey struct {
+	asid int
+	vpn  uint64
+}
+
+type tlbEntry struct {
+	pa   gmem.PAddr
+	used uint64
+}
+
+// NewTLB returns a TLB with the given number of entries.
+func NewTLB(capacity int) *TLB {
+	if capacity <= 0 {
+		panic("mmu: non-positive TLB capacity")
+	}
+	return &TLB{capacity: capacity, entries: make(map[tlbKey]*tlbEntry)}
+}
+
+// Lookup translates va through the TLB, walking pt on a miss.
+func (t *TLB) Lookup(pt *PageTable, va VAddr) (gmem.PAddr, error) {
+	t.clock++
+	key := tlbKey{asid: pt.ASID, vpn: uint64(va) >> pageShift}
+	if e, ok := t.entries[key]; ok {
+		t.Hits++
+		e.used = t.clock
+		return e.pa + gmem.PAddr(uint64(va)&(PageSize-1)), nil
+	}
+	t.Misses++
+	pa, err := pt.Translate(va)
+	if err != nil {
+		t.Faults++
+		return 0, err
+	}
+	base := pa - gmem.PAddr(uint64(va)&(PageSize-1))
+	if len(t.entries) >= t.capacity {
+		t.evict()
+	}
+	t.entries[key] = &tlbEntry{pa: base, used: t.clock}
+	return pa, nil
+}
+
+// FlushASID removes all entries belonging to the given address space. The SM
+// driver flushes the SM's TLB when it installs a different context (§3.1).
+func (t *TLB) FlushASID(asid int) {
+	for k := range t.entries {
+		if k.asid == asid {
+			delete(t.entries, k)
+		}
+	}
+}
+
+// Flush empties the TLB.
+func (t *TLB) Flush() {
+	t.entries = make(map[tlbKey]*tlbEntry)
+}
+
+// Len returns the number of resident entries.
+func (t *TLB) Len() int { return len(t.entries) }
+
+func (t *TLB) evict() {
+	var victim tlbKey
+	var oldest uint64 = ^uint64(0)
+	for k, e := range t.entries {
+		if e.used < oldest {
+			oldest = e.used
+			victim = k
+		}
+	}
+	delete(t.entries, victim)
+}

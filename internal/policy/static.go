@@ -1,0 +1,116 @@
+package policy
+
+import (
+	"repro/internal/core"
+)
+
+// Static implements static spatial multitasking in the style of Adriaens et
+// al. (HPCA 2012), which the paper contrasts DSS against in §5: SMs are
+// partitioned among processes once, in fixed disjoint sets, and each
+// process's kernels may only ever run inside its own partition. No
+// preemption is needed — but SMs idle whenever their owner has no work,
+// which is exactly the inefficiency DSS's dynamic repartitioning (and debt
+// mechanism) removes.
+type Static struct {
+	core.BasePolicy
+	// TotalProcs is the number of processes sharing the GPU.
+	TotalProcs int
+
+	partitions map[int][]int // context id -> owned SM ids
+	nextCtx    int           // how many partitions have been handed out
+}
+
+// NewStatic returns a static equal partitioning among totalProcs processes.
+func NewStatic(totalProcs int) *Static {
+	if totalProcs <= 0 {
+		totalProcs = 1
+	}
+	return &Static{TotalProcs: totalProcs, partitions: make(map[int][]int)}
+}
+
+// Name implements core.Policy.
+func (*Static) Name() string { return "Static" }
+
+// PickPending implements core.Policy: admission in arrival order.
+func (*Static) PickPending(fw *core.Framework) int { return earliestPending(fw) }
+
+// partitionOf returns (lazily assigning) the SM set owned by the context:
+// contiguous blocks of floor(NumSMs/TotalProcs) SMs, with the remainder
+// spread over the first contexts to arrive.
+func (p *Static) partitionOf(fw *core.Framework, ctxID int) []int {
+	if sms, ok := p.partitions[ctxID]; ok {
+		return sms
+	}
+	idx := p.nextCtx % p.TotalProcs
+	p.nextCtx++
+	base := fw.NumSMs() / p.TotalProcs
+	r := fw.NumSMs() % p.TotalProcs
+	start, size := 0, base
+	for i := 0; i <= idx; i++ {
+		size = base
+		if i < r {
+			size++
+		}
+		if i < idx {
+			start += size
+		}
+	}
+	sms := make([]int, 0, size)
+	for sm := start; sm < start+size && sm < fw.NumSMs(); sm++ {
+		sms = append(sms, sm)
+	}
+	p.partitions[ctxID] = sms
+	return sms
+}
+
+// OnActivated implements core.Policy.
+func (p *Static) OnActivated(fw *core.Framework, kid core.KernelID) {
+	k := fw.Kernel(kid)
+	if k == nil {
+		return
+	}
+	p.fillPartition(fw, k.Ctx().ID)
+}
+
+// OnSMIdle implements core.Policy: the SM goes back to its owner's oldest
+// kernel with work, or stays idle.
+func (p *Static) OnSMIdle(fw *core.Framework, smID int) {
+	for ctxID, sms := range p.partitions {
+		for _, sm := range sms {
+			if sm == smID {
+				p.fillPartition(fw, ctxID)
+				return
+			}
+		}
+	}
+}
+
+func (p *Static) fillPartition(fw *core.Framework, ctxID int) {
+	for {
+		smID := p.idleIn(fw, ctxID)
+		if smID < 0 {
+			return
+		}
+		pick := core.NoKernel
+		for _, id := range fw.Active() {
+			k := fw.Kernel(id)
+			if k.Ctx().ID == ctxID && fw.WantsMoreSMs(id) {
+				pick = id
+				break
+			}
+		}
+		if !pick.Valid() {
+			return
+		}
+		fw.AssignSM(smID, pick)
+	}
+}
+
+func (p *Static) idleIn(fw *core.Framework, ctxID int) int {
+	for _, smID := range p.partitionOf(fw, ctxID) {
+		if state, _, _ := fw.SMState(smID); state == core.SMIdle {
+			return smID
+		}
+	}
+	return -1
+}

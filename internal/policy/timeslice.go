@@ -1,0 +1,124 @@
+package policy
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// TimeSlice is a preemptive time-multiplexing policy (an extension; §3.3
+// lists time multiplexing among the policy classes the framework supports).
+// Active kernels take turns owning the whole execution engine for a fixed
+// quantum; at the end of a quantum every SM is preempted and handed to the
+// next kernel in round-robin order.
+type TimeSlice struct {
+	core.BasePolicy
+	// Quantum is the length of one time slice.
+	Quantum sim.Time
+
+	order      []core.KernelID // round-robin order of active kernels
+	cur        int             // index into order of the current owner
+	timerArmed bool
+}
+
+// NewTimeSlice returns a time-multiplexing policy with the given quantum.
+func NewTimeSlice(quantum sim.Time) *TimeSlice {
+	if quantum <= 0 {
+		quantum = 500 * sim.Microsecond
+	}
+	return &TimeSlice{Quantum: quantum}
+}
+
+// Name implements core.Policy.
+func (*TimeSlice) Name() string { return "TimeSlice" }
+
+// PickPending implements core.Policy.
+func (*TimeSlice) PickPending(fw *core.Framework) int { return earliestPending(fw) }
+
+// OnActivated implements core.Policy.
+func (p *TimeSlice) OnActivated(fw *core.Framework, kid core.KernelID) {
+	p.order = append(p.order, kid)
+	assignLoop(fw, p.pick)
+	p.armTimer(fw)
+}
+
+// OnSMIdle implements core.Policy.
+func (p *TimeSlice) OnSMIdle(fw *core.Framework, smID int) {
+	assignLoop(fw, p.pick)
+}
+
+// OnKernelFinished implements core.Policy.
+func (p *TimeSlice) OnKernelFinished(fw *core.Framework, kid core.KernelID) {
+	for i, id := range p.order {
+		if id == kid {
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			if p.cur > i {
+				p.cur--
+			}
+			break
+		}
+	}
+	if len(p.order) > 0 {
+		p.cur %= len(p.order)
+	} else {
+		p.cur = 0
+	}
+}
+
+// pick returns the current owner if it has work, otherwise the next kernel
+// in round-robin order that does.
+func (p *TimeSlice) pick(fw *core.Framework) core.KernelID {
+	n := len(p.order)
+	for off := 0; off < n; off++ {
+		id := p.order[(p.cur+off)%n]
+		if fw.Kernel(id) != nil && fw.WantsMoreSMs(id) {
+			return id
+		}
+	}
+	return core.NoKernel
+}
+
+func (p *TimeSlice) armTimer(fw *core.Framework) {
+	if p.timerArmed {
+		return
+	}
+	p.timerArmed = true
+	fw.Engine().After(p.Quantum, func() { p.tick(fw) })
+}
+
+// tick rotates ownership: every SM running a kernel other than the new
+// owner is preempted for the new owner.
+func (p *TimeSlice) tick(fw *core.Framework) {
+	p.timerArmed = false
+	if len(p.order) == 0 {
+		return
+	}
+	p.cur = (p.cur + 1) % len(p.order)
+	target := p.targetWithWork(fw)
+	if target.Valid() {
+		for smID := 0; smID < fw.NumSMs(); smID++ {
+			state, ksr, _ := fw.SMState(smID)
+			if state == core.SMRunning && ksr != target && fw.WantsMoreSMs(target) {
+				fw.ReserveSM(smID, target)
+			}
+		}
+		assignLoop(fw, p.pick)
+	}
+	if len(p.order) > 1 {
+		p.armTimer(fw)
+	}
+}
+
+// targetWithWork returns the new owner: the kernel at the rotation cursor,
+// or the next one with work.
+func (p *TimeSlice) targetWithWork(fw *core.Framework) core.KernelID {
+	n := len(p.order)
+	for off := 0; off < n; off++ {
+		i := (p.cur + off) % n
+		id := p.order[i]
+		if fw.Kernel(id) != nil && fw.WantsMoreSMs(id) {
+			p.cur = i
+			return id
+		}
+	}
+	return core.NoKernel
+}

@@ -1,0 +1,75 @@
+// Package preempt implements the paper's two preemption mechanisms (§3.2).
+//
+// Context switch follows the classic operating-system approach: execution on
+// the SM stops (after the pipeline drains, for precise exceptions), a
+// microprogrammed trap routine saves the architectural context of every
+// resident thread block — registers and the thread block's shared-memory
+// partition — to the kernel's preallocated save area at the SM's share of
+// global memory bandwidth, and the thread blocks are re-issued later through
+// the kernel's Preempted Thread Block Queue.
+//
+// SM draining instead stops the issue of new thread blocks and lets resident
+// thread blocks run to completion; nothing is saved or restored, but the
+// preemption latency is dictated by the execution time of the running
+// thread blocks — and a persistent kernel can never be preempted.
+package preempt
+
+import (
+	"repro/internal/core"
+)
+
+// Drain is the SM-draining mechanism.
+type Drain struct{}
+
+// Name implements core.Mechanism.
+func (Drain) Name() string { return "draining" }
+
+// Preempt implements core.Mechanism.
+func (Drain) Preempt(fw *core.Framework, smID int) {
+	if fw.SMResident(smID) == 0 {
+		fw.PreemptionDone(smID)
+		return
+	}
+	fw.MarkDraining(smID)
+}
+
+// OnTBFinished implements core.Mechanism.
+func (Drain) OnTBFinished(fw *core.Framework, smID int) {
+	if fw.SMResident(smID) == 0 {
+		fw.PreemptionDone(smID)
+	}
+}
+
+// ContextSwitch is the context-save/restore mechanism.
+type ContextSwitch struct{}
+
+// Name implements core.Mechanism.
+func (ContextSwitch) Name() string { return "context switch" }
+
+// Preempt implements core.Mechanism.
+func (ContextSwitch) Preempt(fw *core.Framework, smID int) {
+	// Preemption raises an asynchronous trap; the simplest way to provide
+	// the precise exception it needs is to drain the pipeline of in-flight
+	// instructions before jumping to the trap routine (§3.2).
+	kid := fw.SMKernel(smID)
+	fw.Engine().After(fw.Config().PipelineDrainLatency, func() {
+		// Freeze point: stop all resident thread blocks. Thread blocks that
+		// completed during the pipeline drain finished normally.
+		tbs := fw.CancelResident(smID)
+		if len(tbs) == 0 {
+			fw.PreemptionDone(smID)
+			return
+		}
+		dur := fw.SaveContext(smID, kid, tbs)
+		fw.MarkSaving(smID, dur)
+		fw.Engine().After(dur, func() {
+			fw.PushPreempted(kid, tbs)
+			fw.PreemptionDone(smID)
+		})
+	})
+}
+
+// OnTBFinished implements core.Mechanism. Thread blocks that complete while
+// the pipeline is draining simply finish; the freeze point collects
+// whatever is still resident.
+func (ContextSwitch) OnTBFinished(fw *core.Framework, smID int) {}

@@ -1,0 +1,289 @@
+// Package proc models the CPU side of a GPU application: a process that
+// replays its application trace, issuing commands into software work queues
+// (CUDA streams) that the command dispatcher drains into the GPU engines.
+//
+// Stream semantics follow §2.1/§2.2: commands in the same stream execute in
+// order (one outstanding command per hardware queue — the dispatcher stops
+// inspecting a queue after issuing from it until the engine notifies
+// completion), commands in different streams may overlap, and the CPU
+// enqueues asynchronously, blocking only at synchronization points.
+package proc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+	"repro/internal/system"
+	"repro/internal/trace"
+)
+
+// IssueOverhead is the CPU-side cost of enqueueing one command (the paper
+// notes command-issue latency to the GPU is significant, citing [17]).
+const IssueOverhead = 2 * sim.Microsecond
+
+// RunRecord describes one completed run of an application.
+type RunRecord struct {
+	Run        int
+	Start, End sim.Time
+}
+
+// Turnaround returns the run's turnaround time.
+func (r RunRecord) Turnaround() sim.Time { return r.End - r.Start }
+
+// Process replays an application trace on a machine. When Loop is set the
+// process restarts its application upon completion, as in the paper's
+// replay methodology (§4.1).
+type Process struct {
+	sys *system.System
+	ctx *gpu.Context
+	app *trace.App
+
+	// Loop restarts the app when a run completes.
+	Loop bool
+	// RestartGap is CPU time between the end of a run and the next run.
+	RestartGap sim.Time
+	// OnRunComplete, when set, is invoked after each completed run.
+	OnRunComplete func(p *Process, rec RunRecord)
+
+	streams     map[int]*stream
+	opIdx       int
+	outstanding int
+	waitingSync bool
+	inCPUPhase  bool
+	runStart    sim.Time
+	runs        []RunRecord
+	started     bool
+}
+
+type stream struct {
+	queue []queuedCmd
+	busy  bool
+}
+
+type queuedCmd struct {
+	op trace.Op
+}
+
+// New creates a process for the given app, backed by a fresh GPU context
+// with the given scheduling priority.
+func New(sys *system.System, app *trace.App, priority int) (*Process, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	ctx, err := sys.NewContext(app.Name, priority)
+	if err != nil {
+		return nil, err
+	}
+	return &Process{
+		sys:     sys,
+		ctx:     ctx,
+		app:     app,
+		streams: make(map[int]*stream),
+	}, nil
+}
+
+// NewWithContext creates a process that runs inside an existing GPU context.
+// This models NVIDIA MPS (§2.1): a proxy process executes requests from all
+// client processes in a single context, so their kernels can share the
+// execution engine like kernels of one process — at the cost of losing
+// memory isolation between clients and any per-process scheduling policy
+// across them. Each client keeps its own streams (MPS clients' streams map
+// to distinct hardware queues).
+func NewWithContext(sys *system.System, ctx *gpu.Context, app *trace.App) (*Process, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		return nil, fmt.Errorf("proc: nil context")
+	}
+	return &Process{
+		sys:     sys,
+		ctx:     ctx,
+		app:     app,
+		streams: make(map[int]*stream),
+	}, nil
+}
+
+// Ctx returns the process's GPU context.
+func (p *Process) Ctx() *gpu.Context { return p.ctx }
+
+// App returns the application trace.
+func (p *Process) App() *trace.App { return p.app }
+
+// Runs returns the completed run records.
+func (p *Process) Runs() []RunRecord { return p.runs }
+
+// CompletedRuns returns the number of completed runs.
+func (p *Process) CompletedRuns() int { return len(p.runs) }
+
+// MeanTurnaround returns the average turnaround over completed runs.
+func (p *Process) MeanTurnaround() sim.Time {
+	if len(p.runs) == 0 {
+		return 0
+	}
+	var total sim.Time
+	for _, r := range p.runs {
+		total += r.Turnaround()
+	}
+	return total / sim.Time(len(p.runs))
+}
+
+// Start schedules the process to begin at the given virtual time.
+func (p *Process) Start(at sim.Time) error {
+	if p.started {
+		return fmt.Errorf("proc: process %s already started", p.app.Name)
+	}
+	p.started = true
+	p.sys.Eng.At(at, func() {
+		p.runStart = p.sys.Eng.Now()
+		p.step()
+	})
+	return nil
+}
+
+// step advances through the op sequence until it blocks on a CPU phase, a
+// synchronization point, or the end of the run.
+func (p *Process) step() {
+	for p.opIdx < len(p.app.Ops) {
+		op := p.app.Ops[p.opIdx]
+		switch op.Kind {
+		case trace.OpCPU:
+			if !p.inCPUPhase {
+				p.inCPUPhase = true
+				p.sys.CPU.Exec(op.Dur, func() {
+					p.inCPUPhase = false
+					p.opIdx++
+					p.step()
+				})
+				return
+			}
+			panic("proc: re-entered CPU phase")
+		case trace.OpSync:
+			if p.outstanding > 0 {
+				p.waitingSync = true
+				return
+			}
+			p.opIdx++
+		case trace.OpH2D, trace.OpD2H, trace.OpLaunch:
+			p.enqueue(op)
+			p.opIdx++
+			// The enqueue costs CPU time; batch it into the next iteration
+			// by falling through — modelling it as zero-width keeps the
+			// trace's CPU phases authoritative, except that we charge
+			// IssueOverhead once per command via a CPU micro-phase.
+			if IssueOverhead > 0 {
+				p.inCPUPhase = true
+				p.sys.CPU.Exec(IssueOverhead, func() {
+					p.inCPUPhase = false
+					p.step()
+				})
+				return
+			}
+		default:
+			panic(fmt.Sprintf("proc: unknown op kind %v", op.Kind))
+		}
+	}
+	// End of trace: implicit final synchronization.
+	if p.outstanding > 0 {
+		p.waitingSync = true
+		return
+	}
+	p.finishRun()
+}
+
+func (p *Process) finishRun() {
+	rec := RunRecord{Run: len(p.runs), Start: p.runStart, End: p.sys.Eng.Now()}
+	p.runs = append(p.runs, rec)
+	if p.OnRunComplete != nil {
+		p.OnRunComplete(p, rec)
+	}
+	if !p.Loop {
+		return
+	}
+	p.opIdx = 0
+	gap := p.RestartGap
+	p.sys.Eng.After(gap, func() {
+		p.runStart = p.sys.Eng.Now()
+		p.step()
+	})
+}
+
+// enqueue places a command in its stream; if the stream has no outstanding
+// command, the dispatcher issues it to the matching engine immediately.
+func (p *Process) enqueue(op trace.Op) {
+	st := p.streams[op.Stream]
+	if st == nil {
+		st = &stream{}
+		p.streams[op.Stream] = st
+	}
+	p.outstanding++
+	st.queue = append(st.queue, queuedCmd{op: op})
+	p.dispatch(st)
+}
+
+// dispatch issues the stream's head command if the stream is not already
+// waiting on one (the dispatcher stops inspecting a queue after issuing).
+func (p *Process) dispatch(st *stream) {
+	if st.busy || len(st.queue) == 0 {
+		return
+	}
+	st.busy = true
+	cmd := st.queue[0]
+	onDone := func(at sim.Time) {
+		st.queue = st.queue[1:]
+		st.busy = false
+		p.outstanding--
+		p.dispatch(st)
+		p.commandCompleted()
+	}
+	switch cmd.op.Kind {
+	case trace.OpLaunch:
+		spec := &p.app.Kernels[cmd.op.Kernel]
+		err := p.sys.Exec.Submit(&core.LaunchCmd{
+			Ctx:    p.ctx,
+			Spec:   spec,
+			OnDone: onDone,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("proc: submitting kernel %s: %v", spec.Name, err))
+		}
+	case trace.OpH2D, trace.OpD2H:
+		dir := pcie.HostToDevice
+		if cmd.op.Kind == trace.OpD2H {
+			dir = pcie.DeviceToHost
+		}
+		err := p.sys.DMA.Submit(&pcie.Command{
+			CtxID:    p.ctx.ID,
+			Name:     p.app.Name,
+			Dir:      dir,
+			Bytes:    cmd.op.Bytes,
+			Priority: p.ctx.Priority,
+			OnDone:   onDone,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("proc: submitting transfer: %v", err))
+		}
+	default:
+		panic(fmt.Sprintf("proc: dispatching non-command op %v", cmd.op.Kind))
+	}
+}
+
+// commandCompleted resumes the CPU if it was blocked on a synchronization
+// point and all commands have drained.
+func (p *Process) commandCompleted() {
+	if !p.waitingSync || p.outstanding > 0 {
+		return
+	}
+	p.waitingSync = false
+	if p.opIdx < len(p.app.Ops) && p.app.Ops[p.opIdx].Kind == trace.OpSync {
+		p.opIdx++
+	}
+	if p.opIdx >= len(p.app.Ops) {
+		p.finishRun()
+		return
+	}
+	p.step()
+}

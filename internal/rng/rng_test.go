@@ -1,0 +1,156 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSourceDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("sources with same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestSourceSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between different seeds", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := s.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("Intn(10) over 1000 draws produced only %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestRangeBounds(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 1000; i++ {
+		v := s.Range(2.5, 7.5)
+		if v < 2.5 || v >= 7.5 {
+			t.Fatalf("Range(2.5, 7.5) = %v", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(11)
+	p := s.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestHash64Deterministic(t *testing.T) {
+	if Hash64(1, 2, 3) != Hash64(1, 2, 3) {
+		t.Fatal("Hash64 not deterministic")
+	}
+	if Hash64(1, 2, 3) == Hash64(3, 2, 1) {
+		t.Fatal("Hash64 ignores argument order")
+	}
+	if Hash64(1) == Hash64(2) {
+		t.Fatal("Hash64(1) == Hash64(2)")
+	}
+}
+
+func TestJitterFactorBounds(t *testing.T) {
+	f := func(a, b uint64) bool {
+		v := JitterFactor(0.3, a, b)
+		return v >= 0.7 && v <= 1.3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJitterFactorZeroFraction(t *testing.T) {
+	if v := JitterFactor(0, 1, 2, 3); v != 1 {
+		t.Fatalf("JitterFactor(0, ...) = %v, want exactly 1", v)
+	}
+	if v := JitterFactor(-0.5, 1); v != 1 {
+		t.Fatalf("JitterFactor(-0.5, ...) = %v, want exactly 1", v)
+	}
+}
+
+func TestJitterFactorVariesWithIDs(t *testing.T) {
+	a := JitterFactor(0.3, 1, 1)
+	b := JitterFactor(0.3, 1, 2)
+	if a == b {
+		t.Fatal("jitter identical for different thread blocks")
+	}
+	// And is stable for the same ids.
+	if a != JitterFactor(0.3, 1, 1) {
+		t.Fatal("jitter not deterministic")
+	}
+}
+
+func TestJitterFactorMeanNearOne(t *testing.T) {
+	sum := 0.0
+	n := 10000
+	for i := 0; i < n; i++ {
+		sum += JitterFactor(0.3, 99, uint64(i))
+	}
+	mean := sum / float64(n)
+	if mean < 0.99 || mean > 1.01 {
+		t.Errorf("jitter mean = %v, want ~1.0", mean)
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	s := New(5)
+	vals := []int{1, 2, 3, 4, 5, 6}
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	s.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	got := 0
+	for _, v := range vals {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed elements: %v", vals)
+	}
+}

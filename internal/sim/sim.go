@@ -1,0 +1,231 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock with nanosecond resolution and a
+// priority queue of scheduled events. Events scheduled for the same instant
+// fire in the order they were scheduled, which makes simulations fully
+// deterministic and therefore reproducible and testable.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in nanoseconds. It is also used for
+// durations; the zero value is the simulation epoch.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Microseconds converts a duration expressed in microseconds (possibly
+// fractional, as in the paper's tables) to a Time.
+func Microseconds(us float64) Time {
+	if us < 0 {
+		return Time(us*float64(Microsecond) - 0.5)
+	}
+	return Time(us*float64(Microsecond) + 0.5)
+}
+
+// Microseconds reports t as a floating-point number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Milliseconds reports t as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String renders the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t == 0:
+		return "0"
+	case t < Microsecond && t > -Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond && t > -Millisecond:
+		return fmt.Sprintf("%.2fus", t.Microseconds())
+	case t < Second && t > -Second:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	default:
+		return fmt.Sprintf("%.4fs", t.Seconds())
+	}
+}
+
+// Event is a scheduled callback. Events are created by Engine.At and
+// Engine.After and may be canceled before they fire.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	fired    bool
+}
+
+// When returns the virtual time at which the event is scheduled to fire.
+func (e *Event) When() Time { return e.at }
+
+// Cancel prevents a pending event from firing. It reports whether the
+// cancellation had effect (false if the event already fired or was already
+// canceled). Canceling is O(1); the engine discards canceled events lazily.
+func (e *Event) Cancel() bool {
+	if e == nil || e.fired || e.canceled {
+		return false
+	}
+	e.canceled = true
+	return true
+}
+
+// Canceled reports whether the event has been canceled.
+func (e *Event) Canceled() bool { return e != nil && e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; call NewEngine.
+type Engine struct {
+	now       Time
+	seq       uint64
+	events    eventHeap
+	stopped   bool
+	processed uint64
+	maxEvents uint64 // 0 = unlimited
+}
+
+// NewEngine returns an engine with the clock at the epoch.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events that have fired so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events still scheduled (including canceled
+// events that have not yet been discarded).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// SetMaxEvents installs a safety limit on the total number of events the
+// engine will process; Run returns ErrEventLimit once the limit is reached.
+// Zero (the default) means no limit.
+func (e *Engine) SetMaxEvents(n uint64) { e.maxEvents = n }
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// it is always a simulation bug.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil callback")
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+// The remaining events stay queued; Run can be called again to resume.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called since the last Run/Resume.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// ErrEventLimit is returned by Run when the event safety limit is hit.
+var ErrEventLimit = fmt.Errorf("sim: event limit reached")
+
+// Step fires the next pending event. It returns false when no events remain.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		ev.fired = true
+		e.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events until none remain, Stop is called, or the event
+// limit is exceeded (in which case ErrEventLimit is returned).
+func (e *Engine) Run() error {
+	e.stopped = false
+	for !e.stopped {
+		if e.maxEvents > 0 && e.processed >= e.maxEvents {
+			return ErrEventLimit
+		}
+		if !e.Step() {
+			return nil
+		}
+	}
+	return nil
+}
+
+// RunUntil processes all events scheduled at or before t, then advances the
+// clock to t. It respects Stop and the event limit like Run.
+func (e *Engine) RunUntil(t Time) error {
+	e.stopped = false
+	for !e.stopped {
+		if e.maxEvents > 0 && e.processed >= e.maxEvents {
+			return ErrEventLimit
+		}
+		next, ok := e.peek()
+		if !ok || next > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t && !e.stopped {
+		e.now = t
+	}
+	return nil
+}
+
+func (e *Engine) peek() (Time, bool) {
+	for len(e.events) > 0 {
+		if e.events[0].canceled {
+			heap.Pop(&e.events)
+			continue
+		}
+		return e.events[0].at, true
+	}
+	return 0, false
+}

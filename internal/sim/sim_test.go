@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	cases := []struct {
+		us   float64
+		want Time
+	}{
+		{0, 0},
+		{1, 1000},
+		{2.42, 2420},
+		{98.56, 98560},
+		{0.0005, 1}, // rounds to nearest ns
+		{-1, -1000},
+	}
+	for _, c := range cases {
+		if got := Microseconds(c.us); got != c.want {
+			t.Errorf("Microseconds(%v) = %d, want %d", c.us, got, c.want)
+		}
+	}
+	if got := (2500 * Nanosecond).Microseconds(); got != 2.5 {
+		t.Errorf("Microseconds() = %v, want 2.5", got)
+	}
+	if got := (3 * Millisecond).Milliseconds(); got != 3 {
+		t.Errorf("Milliseconds() = %v, want 3", got)
+	}
+	if got := (2 * Second).Seconds(); got != 2 {
+		t.Errorf("Seconds() = %v, want 2", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0"},
+		{500, "500ns"},
+		{1500, "1.50us"},
+		{2 * Millisecond, "2.000ms"},
+		{3 * Second, "3.0000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now() = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineTiesFireInScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestEngineAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.At(100, func() {
+		e.After(50, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 150 {
+		t.Errorf("After fired at %v, want 150", at)
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(50, func() {})
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestEngineNilCallbackPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil callback did not panic")
+		}
+	}()
+	e.At(1, nil)
+}
+
+func TestEventCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	if !ev.Cancel() {
+		t.Fatal("Cancel returned false on pending event")
+	}
+	if ev.Cancel() {
+		t.Fatal("second Cancel returned true")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after cancel")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestEventCancelAfterFiring(t *testing.T) {
+	e := NewEngine()
+	ev := e.At(10, func() {})
+	e.Run()
+	if ev.Cancel() {
+		t.Fatal("Cancel returned true after the event fired")
+	}
+}
+
+func TestCancelNilEvent(t *testing.T) {
+	var ev *Event
+	if ev.Cancel() {
+		t.Fatal("nil event Cancel returned true")
+	}
+	if ev.Canceled() {
+		t.Fatal("nil event Canceled returned true")
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("processed %d events after Stop, want 3", count)
+	}
+	// Run can resume.
+	e.Run()
+	if count != 10 {
+		t.Fatalf("processed %d events after resume, want 10", count)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	if err := e.RunUntil(25); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 10 and 20", fired)
+	}
+	if e.Now() != 25 {
+		t.Errorf("Now() = %v, want 25", e.Now())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("fired %v after Run, want all four", fired)
+	}
+}
+
+func TestEngineMaxEvents(t *testing.T) {
+	e := NewEngine()
+	var reschedule func()
+	reschedule = func() { e.After(1, reschedule) }
+	e.After(1, reschedule)
+	e.SetMaxEvents(100)
+	if err := e.Run(); err != ErrEventLimit {
+		t.Fatalf("Run = %v, want ErrEventLimit", err)
+	}
+	if e.Processed() != 100 {
+		t.Errorf("Processed = %d, want 100", e.Processed())
+	}
+}
+
+func TestEnginePendingCountsCanceled(t *testing.T) {
+	e := NewEngine()
+	ev := e.At(10, func() {})
+	e.At(20, func() {})
+	ev.Cancel()
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2 (lazy cancellation)", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d after Run, want 0", e.Pending())
+	}
+}
+
+func TestEngineStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty engine returned true")
+	}
+}
+
+// Property: for any set of event times, the engine fires them in
+// non-decreasing time order and ends with the clock at the max.
+func TestEngineOrderingProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		var max Time
+		for _, d := range delays {
+			at := Time(d)
+			if at > max {
+				max = at
+			}
+			e.At(at, func() { fired = append(fired, e.Now()) })
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(delays) == 0 || e.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

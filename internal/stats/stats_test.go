@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("Mean([1 2 3]) != 2")
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+}
+
+func TestSum(t *testing.T) {
+	if !almost(Sum([]float64{1.5, 2.5}), 4) {
+		t.Error("Sum != 4")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !almost(GeoMean([]float64{1, 4}), 2) {
+		t.Error("GeoMean([1 4]) != 2")
+	}
+	if !almost(GeoMean([]float64{2, 8, -1, 0}), 4) {
+		t.Error("GeoMean skips non-positive values")
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Min(xs) != 1 || Max(xs) != 3 {
+		t.Error("Min/Max wrong")
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("empty Min/Max should be infinities")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if !almost(StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), 2) {
+		t.Error("StdDev != 2")
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Error("StdDev of singleton != 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(nil) != 0")
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{10, 20}, 50); !almost(got, 15) {
+		t.Errorf("Percentile interpolation = %v, want 15", got)
+	}
+}
+
+func TestSortedDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	out := Sorted(xs)
+	if xs[0] != 3 {
+		t.Error("Sorted mutated input")
+	}
+	if out[0] != 1 || out[2] != 3 {
+		t.Errorf("Sorted = %v", out)
+	}
+}
+
+// Property: Min <= Mean <= Max, and Percentile(0/100) equal Min/Max.
+func TestStatsProperties(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		mn, mx, mean := Min(xs), Max(xs), Mean(xs)
+		if mean < mn-1e-9 || mean > mx+1e-9 {
+			return false
+		}
+		return almost(Percentile(xs, 0), mn) && almost(Percentile(xs, 100), mx)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Suite is a serializable collection of application traces.
+type Suite struct {
+	Apps []*App `json:"apps"`
+}
+
+// WriteJSON serializes the suite as indented JSON.
+func (s *Suite) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadJSON parses a suite from JSON and validates every application.
+func ReadJSON(r io.Reader) (*Suite, error) {
+	var s Suite
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("trace: decoding suite: %w", err)
+	}
+	if len(s.Apps) == 0 {
+		return nil, fmt.Errorf("trace: suite contains no apps")
+	}
+	for _, a := range s.Apps {
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &s, nil
+}
+
+// MarshalJSON renders the class as its name.
+func (c Class) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.String())
+}
+
+// UnmarshalJSON parses a class from its name.
+func (c *Class) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseClass(s)
+	if err != nil {
+		return err
+	}
+	*c = parsed
+	return nil
+}
+
+// MarshalJSON renders the op kind as its name.
+func (k OpKind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON parses an op kind from its name.
+func (k *OpKind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for kind, name := range opNames {
+		if name == s {
+			*k = kind
+			return nil
+		}
+	}
+	return fmt.Errorf("trace: unknown op kind %q", s)
+}

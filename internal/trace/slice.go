@@ -1,0 +1,70 @@
+package trace
+
+// SliceKernels returns a copy of the app in which every kernel launch is
+// split into slices of at most sliceTBs thread blocks, launched
+// back-to-back on the same stream.
+//
+// This models the software time-multiplexing techniques the paper compares
+// against in §5 (kernel slicing, as in Basaran & Kang, elastic kernels and
+// Kernelet): slice boundaries become natural preemption points without any
+// hardware support, at the cost of extra kernel-launch overheads and lost
+// intra-kernel concurrency across slice boundaries.
+func SliceKernels(a *App, sliceTBs int) *App {
+	if sliceTBs <= 0 {
+		return a.Clone()
+	}
+	out := &App{
+		Name:   a.Name + "-sliced",
+		Class1: a.Class1,
+		Class2: a.Class2,
+	}
+	// For every original kernel build up to two specs: a full slice of
+	// sliceTBs and a remainder slice.
+	type sliceInfo struct {
+		fullIdx   int // index of the full-slice spec (-1 if unused)
+		remIdx    int // index of the remainder spec (-1 if none)
+		numFull   int
+		remainder int
+	}
+	infos := make([]sliceInfo, len(a.Kernels))
+	for i := range a.Kernels {
+		k := a.Kernels[i]
+		if k.NumTBs <= sliceTBs {
+			// No slicing needed.
+			spec := k
+			infos[i] = sliceInfo{fullIdx: len(out.Kernels), remIdx: -1, numFull: 1}
+			out.Kernels = append(out.Kernels, spec)
+			continue
+		}
+		numFull := k.NumTBs / sliceTBs
+		remainder := k.NumTBs % sliceTBs
+		full := k
+		full.NumTBs = sliceTBs
+		full.Launches = k.Launches * numFull
+		info := sliceInfo{fullIdx: len(out.Kernels), remIdx: -1, numFull: numFull, remainder: remainder}
+		out.Kernels = append(out.Kernels, full)
+		if remainder > 0 {
+			rem := k
+			rem.Name = k.Name + ".rem"
+			rem.NumTBs = remainder
+			rem.Launches = k.Launches
+			info.remIdx = len(out.Kernels)
+			out.Kernels = append(out.Kernels, rem)
+		}
+		infos[i] = info
+	}
+	for _, op := range a.Ops {
+		if op.Kind != OpLaunch {
+			out.Ops = append(out.Ops, op)
+			continue
+		}
+		info := infos[op.Kernel]
+		for s := 0; s < info.numFull; s++ {
+			out.Ops = append(out.Ops, Op{Kind: OpLaunch, Kernel: info.fullIdx, Stream: op.Stream})
+		}
+		if info.remIdx >= 0 {
+			out.Ops = append(out.Ops, Op{Kind: OpLaunch, Kernel: info.remIdx, Stream: op.Stream})
+		}
+	}
+	return out
+}

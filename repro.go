@@ -1,0 +1,390 @@
+// Package repro is a Go reproduction of "Enabling Preemptive
+// Multiprogramming on GPUs" (Tanasic et al., ISCA 2014).
+//
+// It provides a trace-driven simulator of a GK110 (Kepler)-class GPU
+// extended with the paper's hardware multiprogramming support: two per-SM
+// preemption mechanisms (context switch and draining), concurrent execution
+// of kernels from different processes, a hardware scheduling framework
+// (command buffers, active queue, KSRT, SMST, PTBQs) and scheduling policies
+// including the paper's Dynamic Spatial Sharing (DSS).
+//
+// This package is the public facade: it exposes the benchmark suite, the
+// machine and scheduler configuration, and a Run function that simulates a
+// multiprogrammed workload and reports the paper's metrics (NTT, ANTT, STP,
+// fairness). The building blocks live under internal/ (see DESIGN.md).
+//
+// Quick start:
+//
+//	suite := repro.Suite()
+//	res, err := repro.Run(
+//		repro.Workload{Apps: []*repro.App{suite[3], suite[6]}},
+//		repro.Options{Policy: repro.PolicyDSS, Mechanism: repro.MechanismContextSwitch},
+//	)
+package repro
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/parboil"
+	"repro/internal/pcie"
+	"repro/internal/policy"
+	"repro/internal/preempt"
+	"repro/internal/sim"
+	"repro/internal/system"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// PolicyKind selects a scheduling policy.
+type PolicyKind string
+
+// Available scheduling policies.
+const (
+	// PolicyFCFS models current GPUs: first-come first-serve, one context
+	// owning the execution engine at a time.
+	PolicyFCFS PolicyKind = "fcfs"
+	// PolicyNPQ is non-preemptive priority queues.
+	PolicyNPQ PolicyKind = "npq"
+	// PolicyPPQ is preemptive priority queues with exclusive access for
+	// the highest priority level.
+	PolicyPPQ PolicyKind = "ppq"
+	// PolicyPPQShared is preemptive priority queues granting leftover SMs
+	// to lower-priority kernels.
+	PolicyPPQShared PolicyKind = "ppq-shared"
+	// PolicyDSS is the paper's Dynamic Spatial Sharing policy.
+	PolicyDSS PolicyKind = "dss"
+	// PolicyTimeSlice is preemptive round-robin time multiplexing.
+	PolicyTimeSlice PolicyKind = "timeslice"
+	// PolicyStatic is static spatial multitasking: fixed disjoint SM sets
+	// per process (Adriaens et al., contrasted with DSS in the paper's §5).
+	PolicyStatic PolicyKind = "static"
+)
+
+// MechanismKind selects a preemption mechanism.
+type MechanismKind string
+
+// Available preemption mechanisms.
+const (
+	// MechanismContextSwitch saves and restores thread-block contexts.
+	MechanismContextSwitch MechanismKind = "context-switch"
+	// MechanismDrain stops issue and waits for resident thread blocks.
+	MechanismDrain MechanismKind = "drain"
+	// MechanismNone forbids preemption (only valid with non-preemptive
+	// policies).
+	MechanismNone MechanismKind = "none"
+)
+
+// App is an application trace.
+type App struct {
+	t *trace.App
+}
+
+// Suite returns the ten Parboil benchmark applications of the paper's
+// evaluation (Table 1).
+func Suite() []*App {
+	apps := parboil.Suite()
+	out := make([]*App, len(apps))
+	for i, a := range apps {
+		out[i] = &App{t: a}
+	}
+	return out
+}
+
+// AppByName returns one Parboil benchmark by name (see Names).
+func AppByName(name string) (*App, error) {
+	a, err := parboil.App(name)
+	if err != nil {
+		return nil, err
+	}
+	return &App{t: a}, nil
+}
+
+// Names lists the benchmark names.
+func Names() []string { return parboil.Names() }
+
+// Name returns the application name.
+func (a *App) Name() string { return a.t.Name }
+
+// KernelClass returns the Table 1 "Class 1" group (by kernel length).
+func (a *App) KernelClass() string { return a.t.Class1.String() }
+
+// AppClass returns the Table 1 "Class 2" group (by application length).
+func (a *App) AppClass() string { return a.t.Class2.String() }
+
+// Scale returns a copy of the application scaled down by factor (thread
+// blocks, launches, transfers and CPU time all shrink; per-thread-block
+// statistics are preserved). Useful for fast experimentation.
+func (a *App) Scale(factor int) *App { return &App{t: a.t.Scale(factor)} }
+
+// Trace exposes the underlying trace (read-only by convention).
+func (a *App) Trace() *trace.App { return a.t }
+
+// Workload is a set of applications to co-schedule.
+type Workload struct {
+	// Apps are the co-scheduled applications.
+	Apps []*App
+	// HighPriority is the index of the prioritized application (-1 or out
+	// of range = none).
+	HighPriority int
+	// Seed perturbs thread-block timing for this workload (0 = use
+	// Options.Seed).
+	Seed uint64
+}
+
+// Options configures a simulation.
+type Options struct {
+	// Policy selects the scheduler. Default PolicyFCFS.
+	Policy PolicyKind
+	// Mechanism selects the preemption mechanism. Default
+	// MechanismContextSwitch for preemptive policies.
+	Mechanism MechanismKind
+	// MinRuns is how many completed runs each application needs (replay
+	// methodology, §4.1). Default 3.
+	MinRuns int
+	// Seed drives all randomness. Default 1.
+	Seed uint64
+	// Jitter is the thread-block time variability fraction; negative
+	// disables jitter. Default 0.30.
+	Jitter float64
+	// RecordTimeline captures per-SM activity intervals in the result.
+	RecordTimeline bool
+	// PriorityDMA makes the data-transfer engine serve high-priority
+	// transfers first (as in the paper's §4.2 experiments).
+	PriorityDMA bool
+	// TimeSliceQuantum sets the PolicyTimeSlice quantum. Default 500us.
+	TimeSliceQuantum time.Duration
+	// MaxSimTime bounds virtual time (guard against starvation).
+	// Default 120 simulated seconds.
+	MaxSimTime time.Duration
+	// MPS runs all applications in one shared GPU context, as NVIDIA's
+	// Multi-Process Service does (§2.1): cross-process concurrency under
+	// FCFS, but no memory isolation and no per-process scheduling.
+	MPS bool
+}
+
+// AppMetrics reports one application's outcome.
+type AppMetrics struct {
+	Name string
+	// Runs is the number of completed runs.
+	Runs int
+	// Turnaround is the mean turnaround in the multiprogrammed workload.
+	Turnaround time.Duration
+	// Isolated is the mean turnaround when run alone.
+	Isolated time.Duration
+	// NTT is the normalized turnaround time (Turnaround / Isolated).
+	NTT float64
+	// Starved reports an application that never completed a run.
+	Starved bool
+	// HighPriority marks the prioritized application.
+	HighPriority bool
+}
+
+// TimelineInterval is one contiguous SM activity (only present when
+// Options.RecordTimeline is set).
+type TimelineInterval struct {
+	SM         int
+	Kind       string // "setup", "run", "drain", "save"
+	Start, End time.Duration
+	Kernel     string
+	Ctx        int
+}
+
+// Result reports a simulated workload.
+type Result struct {
+	// ANTT, STP and Fairness are the Eyerman & Eeckhout multiprogram
+	// metrics of §4.1.
+	ANTT, STP, Fairness float64
+	// Apps lists per-application outcomes in workload order.
+	Apps []AppMetrics
+	// EndTime is the virtual time the simulation stopped.
+	EndTime time.Duration
+	// Completed reports whether every application reached MinRuns.
+	Completed bool
+	// Preemptions counts SM reservations; ContextSavedBytes counts context
+	// traffic moved by the context-switch mechanism.
+	Preemptions       int
+	ContextSavedBytes int64
+	// Utilization is the SM busy fraction.
+	Utilization float64
+	// Timeline holds SM activity intervals when recording was requested.
+	Timeline []TimelineInterval
+}
+
+func (o Options) fill() Options {
+	if o.Policy == "" {
+		o.Policy = PolicyFCFS
+	}
+	if o.Mechanism == "" {
+		switch o.Policy {
+		case PolicyFCFS, PolicyNPQ:
+			o.Mechanism = MechanismNone
+		default:
+			o.Mechanism = MechanismContextSwitch
+		}
+	}
+	if o.MinRuns <= 0 {
+		o.MinRuns = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Jitter == 0 {
+		o.Jitter = 0.30
+	}
+	if o.Jitter < 0 {
+		o.Jitter = 0
+	}
+	if o.TimeSliceQuantum <= 0 {
+		o.TimeSliceQuantum = 500 * time.Microsecond
+	}
+	return o
+}
+
+func (o Options) policyFactory() (func(n int) core.Policy, error) {
+	switch o.Policy {
+	case PolicyFCFS:
+		return func(n int) core.Policy { return policy.NewFCFS() }, nil
+	case PolicyNPQ:
+		return func(n int) core.Policy { return policy.NewNPQ() }, nil
+	case PolicyPPQ:
+		return func(n int) core.Policy { return policy.NewPPQ(false) }, nil
+	case PolicyPPQShared:
+		return func(n int) core.Policy { return policy.NewPPQ(true) }, nil
+	case PolicyDSS:
+		return func(n int) core.Policy { return policy.NewDSS(n) }, nil
+	case PolicyTimeSlice:
+		q := sim.Time(o.TimeSliceQuantum.Nanoseconds())
+		return func(n int) core.Policy { return policy.NewTimeSlice(q) }, nil
+	case PolicyStatic:
+		return func(n int) core.Policy { return policy.NewStatic(n) }, nil
+	default:
+		return nil, fmt.Errorf("repro: unknown policy %q", o.Policy)
+	}
+}
+
+func (o Options) mechanismFactory() (func() core.Mechanism, error) {
+	switch o.Mechanism {
+	case MechanismContextSwitch:
+		return func() core.Mechanism { return preempt.ContextSwitch{} }, nil
+	case MechanismDrain:
+		return func() core.Mechanism { return preempt.Drain{} }, nil
+	case MechanismNone:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("repro: unknown mechanism %q", o.Mechanism)
+	}
+}
+
+func (o Options) runConfig() (workload.RunConfig, error) {
+	sys := system.DefaultConfig()
+	sys.Seed = o.Seed
+	sys.Jitter = o.Jitter
+	sys.RecordTimeline = o.RecordTimeline
+	if o.PriorityDMA {
+		sys.DMAPolicy = pcie.PriorityFCFS{}
+	}
+	pol, err := o.policyFactory()
+	if err != nil {
+		return workload.RunConfig{}, err
+	}
+	mech, err := o.mechanismFactory()
+	if err != nil {
+		return workload.RunConfig{}, err
+	}
+	return workload.RunConfig{
+		Sys:        sys,
+		Policy:     pol,
+		Mechanism:  mech,
+		MinRuns:    o.MinRuns,
+		MaxSimTime: sim.Time(o.MaxSimTime.Nanoseconds()),
+		MPS:        o.MPS,
+	}, nil
+}
+
+// Run simulates a multiprogrammed workload and reports the paper's metrics.
+func Run(w Workload, o Options) (*Result, error) {
+	o = o.fill()
+	if len(w.Apps) == 0 {
+		return nil, fmt.Errorf("repro: empty workload")
+	}
+	rc, err := o.runConfig()
+	if err != nil {
+		return nil, err
+	}
+	apps := make([]*trace.App, len(w.Apps))
+	for i, a := range w.Apps {
+		apps[i] = a.t
+	}
+	hp := w.HighPriority
+	if hp < 0 || hp >= len(apps) {
+		hp = -1
+	}
+	spec := workload.Spec{Name: "workload", Apps: apps, HighPriority: hp, Seed: w.Seed}
+	res, err := workload.Run(spec, rc)
+	if err != nil {
+		return nil, err
+	}
+
+	// Isolated baselines for the metrics.
+	isoRC, err := Options{Policy: PolicyFCFS, MinRuns: o.MinRuns, Seed: o.Seed, Jitter: o.Jitter}.fill().runConfig()
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		EndTime:           time.Duration(res.EndTime),
+		Completed:         res.Completed,
+		Preemptions:       res.Stats.Preemptions,
+		ContextSavedBytes: res.Stats.ContextSavedBytes,
+		Utilization:       res.Utilization,
+	}
+	perfs := make([]metrics.AppPerf, len(res.Apps))
+	for i, ar := range res.Apps {
+		iso, err := workload.Isolated(apps[i], isoRC)
+		if err != nil {
+			return nil, err
+		}
+		perfs[i] = metrics.AppPerf{Name: ar.Name, Isolated: iso, Shared: ar.MeanTurnaround}
+		out.Apps = append(out.Apps, AppMetrics{
+			Name:         ar.Name,
+			Runs:         ar.Runs,
+			Turnaround:   time.Duration(ar.MeanTurnaround),
+			Isolated:     time.Duration(iso),
+			NTT:          perfs[i].NTT(),
+			Starved:      ar.Starved,
+			HighPriority: ar.HighPriority,
+		})
+	}
+	sum, err := metrics.Summarize(perfs)
+	if err != nil {
+		return nil, err
+	}
+	out.ANTT, out.STP, out.Fairness = sum.ANTT, sum.STP, sum.Fairness
+
+	if res.Timeline != nil {
+		for _, iv := range res.Timeline.Intervals {
+			out.Timeline = append(out.Timeline, TimelineInterval{
+				SM:     iv.SM,
+				Kind:   iv.Kind.String(),
+				Start:  time.Duration(iv.Start),
+				End:    time.Duration(iv.End),
+				Kernel: iv.Kernel,
+				Ctx:    iv.CtxID,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Isolated returns the application's mean turnaround when run alone.
+func Isolated(a *App, o Options) (time.Duration, error) {
+	o = o.fill()
+	rc, err := Options{Policy: PolicyFCFS, MinRuns: o.MinRuns, Seed: o.Seed, Jitter: o.Jitter}.fill().runConfig()
+	if err != nil {
+		return 0, err
+	}
+	t, err := workload.Isolated(a.t, rc)
+	return time.Duration(t), err
+}

@@ -1,0 +1,99 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// RenderTimeline draws an ASCII Gantt chart of SM activity: one row per SM,
+// one column per time bucket. Each context gets a letter (A, B, C, ...);
+// lower-case letters mark draining, '$' marks context saving, '.' marks SM
+// setup and ' ' idle time. A legend maps letters to kernels.
+func RenderTimeline(intervals []TimelineInterval, numSMs, width int) string {
+	if len(intervals) == 0 {
+		return "(empty timeline)\n"
+	}
+	if width <= 0 {
+		width = 100
+	}
+	var tmin, tmax time.Duration
+	tmin = intervals[0].Start
+	for _, iv := range intervals {
+		if iv.Start < tmin {
+			tmin = iv.Start
+		}
+		if iv.End > tmax {
+			tmax = iv.End
+		}
+	}
+	if tmax <= tmin {
+		return "(empty timeline)\n"
+	}
+	span := tmax - tmin
+	bucket := span / time.Duration(width)
+	if bucket <= 0 {
+		bucket = 1
+	}
+
+	rows := make([][]byte, numSMs)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(" ", width))
+	}
+	ctxLetters := map[int]byte{}
+	legend := map[int]string{}
+	letterFor := func(ctx int, kernel string) byte {
+		if b, ok := ctxLetters[ctx]; ok {
+			if !strings.Contains(legend[ctx], kernel) {
+				legend[ctx] += " " + kernel
+			}
+			return b
+		}
+		b := byte('A' + len(ctxLetters)%26)
+		ctxLetters[ctx] = b
+		legend[ctx] = kernel
+		return b
+	}
+
+	for _, iv := range intervals {
+		if iv.SM < 0 || iv.SM >= numSMs {
+			continue
+		}
+		letter := letterFor(iv.Ctx, iv.Kernel)
+		var ch byte
+		switch iv.Kind {
+		case "run":
+			ch = letter
+		case "drain":
+			ch = letter + ('a' - 'A')
+		case "save":
+			ch = '$'
+		case "setup":
+			ch = '.'
+		default:
+			ch = '?'
+		}
+		b0 := int((iv.Start - tmin) / bucket)
+		b1 := int((iv.End - tmin) / bucket)
+		if b1 >= width {
+			b1 = width - 1
+		}
+		for x := b0; x <= b1 && x < width; x++ {
+			rows[iv.SM][x] = ch
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "time: %v .. %v (one column = %v)\n", tmin, tmax, bucket)
+	for i, row := range rows {
+		fmt.Fprintf(&sb, "SM%02d |%s|\n", i, string(row))
+	}
+	sb.WriteString("legend: ")
+	for ctx := 0; ctx < len(ctxLetters)+8; ctx++ {
+		if b, ok := ctxLetters[ctx]; ok {
+			fmt.Fprintf(&sb, "%c=ctx%d(%s) ", b, ctx, legend[ctx])
+		}
+	}
+	sb.WriteString("lower-case=draining $=context-save .=setup\n")
+	return sb.String()
+}
