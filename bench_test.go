@@ -5,6 +5,9 @@
 package repro
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -35,7 +38,7 @@ func benchOpts(sizes ...int) experiments.Options {
 // BenchmarkTable1 recomputes the derived columns of Table 1.
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.RunTable1()
+		rows, err := experiments.RunTable1(experiments.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -50,7 +53,7 @@ func BenchmarkTable1(b *testing.B) {
 func BenchmarkFig2(b *testing.B) {
 	var last *experiments.Fig2Result
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunFig2(uint64(i + 1))
+		r, err := experiments.RunFig2(uint64(i+1), experiments.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -141,6 +144,68 @@ func BenchmarkFig8(b *testing.B) {
 	b.ReportMetric(median(experiments.ConfFCFS), "antt-fcfs")
 	b.ReportMetric(median(experiments.ConfDSSCS), "antt-dss-cs")
 	b.ReportMetric(median(experiments.ConfDSSDrain), "antt-dss-drain")
+}
+
+// --- concurrent experiment runner ----------------------------------------
+
+// benchWorkerCounts are the worker counts the parallel-runner benchmarks
+// sweep: sequential, 2, 4, and every CPU (deduplicated).
+func benchWorkerCounts() []int {
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// BenchmarkGridWorkers regenerates the full evaluation grid behind Figures
+// 5–8 (every workload size, priority and DSS configurations) at reduced
+// scale under increasing worker counts. Results are identical at every
+// count; only the wall-clock changes, so comparing the workers=1 and
+// workers=N lines of `go test -bench GridWorkers` shows the runner's
+// speedup directly.
+func BenchmarkGridWorkers(b *testing.B) {
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o := benchOpts(2, 4, 6, 8)
+				o.Workers = workers
+				if _, _, err := experiments.RunPriority(o); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := experiments.RunDSS(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunManyWorkers measures the facade batch path: one DSS workload
+// replicated across derived seeds, simulated on 1..N workers.
+func BenchmarkRunManyWorkers(b *testing.B) {
+	var apps []*App
+	for _, n := range []string{"spmv", "histo", "sgemm", "mri-q"} {
+		a, err := AppByName(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		apps = append(apps, a.Scale(16))
+	}
+	ws := make([]Workload, 16)
+	for i := range ws {
+		ws[i] = Workload{Apps: apps, HighPriority: -1}
+	}
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("parallel=%d", workers), func(b *testing.B) {
+			o := Options{Policy: PolicyDSS, MinRuns: 2, Parallel: workers}
+			for i := 0; i < b.N; i++ {
+				if _, err := RunMany(context.Background(), ws, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // --- microbenchmarks of the substrate ------------------------------------

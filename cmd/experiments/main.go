@@ -1,11 +1,16 @@
 // Command experiments regenerates the tables and figures of the paper's
-// evaluation section, plus the ablations documented in DESIGN.md.
+// evaluation section, plus the ablations documented in DESIGN.md. The
+// hundreds of independent simulations behind each grid run concurrently on
+// -parallel workers (default: all CPUs); every cell derives its randomness
+// from its grid coordinates, so the tables are identical at any -parallel
+// value.
 //
 // Examples:
 //
 //	experiments -exp table1
 //	experiments -exp fig5 -n 10 -scale 1
-//	experiments -exp all -scale 8 -out results/
+//	experiments -exp dss -parallel 8
+//	experiments -exp all -scale 8 -out results/ -parallel 1 # sequential
 package main
 
 import (
@@ -13,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -21,14 +27,15 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table2|fig2|fig5|fig6|fig7|fig8|priority|dss|mps|static|slicing|ablations|all")
-		n       = flag.Int("n", 10, "workloads per size")
-		sizes   = flag.String("sizes", "2,4,6,8", "workload sizes")
-		seed    = flag.Uint64("seed", 2014, "random seed")
-		scale   = flag.Int("scale", 1, "benchmark scale factor (1 = paper-faithful, larger = faster)")
-		minRuns = flag.Int("runs", 3, "completed runs per application")
-		outDir  = flag.String("out", "", "directory for CSV output (empty = text only)")
-		quiet   = flag.Bool("q", false, "suppress per-simulation progress")
+		exp      = flag.String("exp", "all", "experiment: table1|table2|fig2|fig5|fig6|fig7|fig8|priority|dss|mps|static|slicing|ablations|all")
+		n        = flag.Int("n", 10, "workloads per size")
+		sizes    = flag.String("sizes", "2,4,6,8", "workload sizes")
+		seed     = flag.Uint64("seed", 2014, "random seed")
+		scale    = flag.Int("scale", 1, "benchmark scale factor (1 = paper-faithful, larger = faster)")
+		minRuns  = flag.Int("runs", 3, "completed runs per application")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations (1 = sequential; results are identical at any value)")
+		outDir   = flag.String("out", "", "directory for CSV output (empty = text only)")
+		quiet    = flag.Bool("q", false, "suppress per-simulation progress")
 	)
 	flag.Parse()
 
@@ -38,6 +45,7 @@ func main() {
 		Seed:    *seed,
 		Scale:   *scale,
 		MinRuns: *minRuns,
+		Workers: *parallel,
 	}
 	if !*quiet {
 		opts.Progress = os.Stderr
@@ -69,7 +77,7 @@ func main() {
 	}
 
 	if want("table1") {
-		rows, err := experiments.RunTable1()
+		rows, err := experiments.RunTable1(opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -79,7 +87,7 @@ func main() {
 		emit("table2", experiments.RunTable2())
 	}
 	if want("fig2") {
-		r, err := experiments.RunFig2(*seed)
+		r, err := experiments.RunFig2(*seed, opts)
 		if err != nil {
 			fatal(err)
 		}

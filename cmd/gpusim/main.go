@@ -1,15 +1,21 @@
 // Command gpusim simulates one multiprogrammed GPU workload and prints the
-// paper's metrics (NTT per application, ANTT, STP, fairness).
+// paper's metrics (NTT per application, ANTT, STP, fairness). With -reps N
+// it simulates N replicas of the workload under derived seeds concurrently
+// (-parallel workers) and reports the per-replica metrics plus their mean,
+// which quantifies seed sensitivity.
 //
-// Example:
+// Examples:
 //
 //	gpusim -apps spmv,lbm,mri-gridding -policy dss -mech context-switch -hp 0
+//	gpusim -apps spmv,sgemm -policy dss -reps 8 -parallel 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro"
@@ -28,6 +34,8 @@ func main() {
 		timeline = flag.Bool("timeline", false, "print an ASCII SM timeline")
 		list     = flag.Bool("list", false, "list available benchmarks and exit")
 		prioDMA  = flag.Bool("priority-dma", false, "priority scheduling on the transfer engine")
+		reps     = flag.Int("reps", 1, "simulate this many replicas of the workload under derived seeds")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent replica simulations")
 	)
 	flag.Parse()
 
@@ -66,6 +74,14 @@ func main() {
 		Jitter:         *jitter,
 		RecordTimeline: *timeline,
 		PriorityDMA:    *prioDMA,
+		Parallel:       *parallel,
+	}
+	if *reps > 1 {
+		if *timeline {
+			fatal(fmt.Errorf("-timeline is not supported with -reps > 1 (run a single replica to render a timeline)"))
+		}
+		runReplicas(apps, *hp, *reps, opts)
+		return
 	}
 	res, err := repro.Run(repro.Workload{Apps: apps, HighPriority: *hp}, opts)
 	if err != nil {
@@ -92,6 +108,38 @@ func main() {
 		fmt.Println()
 		fmt.Print(repro.RenderTimeline(res.Timeline, 13, 120))
 	}
+}
+
+// runReplicas simulates reps copies of the workload concurrently, each with
+// a seed derived from the base seed and the replica index, and prints the
+// per-replica multiprogram metrics plus their mean.
+func runReplicas(apps []*repro.App, hp, reps int, opts repro.Options) {
+	ws := make([]repro.Workload, reps)
+	for i := range ws {
+		ws[i] = repro.Workload{Apps: apps, HighPriority: hp}
+	}
+	opts.OnProgress = func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\rsimulated %d/%d replicas", done, total)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+	results, err := repro.RunMany(context.Background(), ws, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("policy=%s mechanism=%s apps=%d reps=%d parallel=%d base seed=%d\n\n",
+		opts.Policy, orDefault(string(opts.Mechanism), "auto"), len(apps), reps, opts.Parallel, opts.Seed)
+	fmt.Printf("%-8s %9s %9s %10s %12s %12s\n", "replica", "ANTT", "STP", "fairness", "end", "completed")
+	var antt, stp, fair float64
+	for i, r := range results {
+		fmt.Printf("%-8d %9.3f %9.3f %10.3f %12v %12v\n", i, r.ANTT, r.STP, r.Fairness, r.EndTime, r.Completed)
+		antt += r.ANTT
+		stp += r.STP
+		fair += r.Fairness
+	}
+	n := float64(len(results))
+	fmt.Printf("%-8s %9.3f %9.3f %10.3f\n", "mean", antt/n, stp/n, fair/n)
 }
 
 func orDefault(s, d string) string {

@@ -60,27 +60,31 @@ func AblationPipelineDrain(o Options, latencies []sim.Time) (*AblationResult, er
 	specs := ablationWorkloads(h, true)
 	res := &AblationResult{Name: "pipeline-drain latency before context save",
 		Columns: []string{"hp NTT improvement", "STP"}}
+	// The FCFS baseline does not depend on the swept latency, so it is
+	// simulated once per workload and shared across all sweep values.
+	jobs := baselineJobs(h, specs)
+	for _, lat := range latencies {
+		for _, spec := range specs {
+			rc := h.runConfig(pcie.PriorityFCFS{})
+			rc.Sys.GPU.PipelineDrainLatency = lat
+			jobs = append(jobs, simJob{spec: spec, rc: rc,
+				pol:   func(int) core.Policy { return policy.NewPPQ(false) },
+				mech:  func() core.Mechanism { return preempt.ContextSwitch{} },
+				label: fmt.Sprintf("PPQ-CS/%v", lat)})
+		}
+	}
+	results, err := h.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	next := len(specs)
 	for _, lat := range latencies {
 		impAgg, stpAgg := 0.0, 0.0
 		n := 0
-		for _, spec := range specs {
-			base := spec
-			base.HighPriority = -1
-			baseRes, err := h.run(base, h.runConfig(pcie.FCFS{}),
-				func(int) core.Policy { return policy.NewFCFS() }, nil, "FCFS")
-			if err != nil {
-				return nil, err
-			}
+		for si := range specs {
+			baseRes, r := results[si], results[next]
+			next++
 			baseNTT, err := h.appNTT(baseRes, 0)
-			if err != nil {
-				return nil, err
-			}
-			rc := h.runConfig(pcie.PriorityFCFS{})
-			rc.Sys.GPU.PipelineDrainLatency = lat
-			r, err := h.run(spec, rc,
-				func(int) core.Policy { return policy.NewPPQ(false) },
-				func() core.Mechanism { return preempt.ContextSwitch{} },
-				fmt.Sprintf("PPQ-CS/%v", lat))
 			if err != nil {
 				return nil, err
 			}
@@ -132,15 +136,32 @@ func AblationJitter(o Options, jitters []float64) (*AblationResult, error) {
 			h.Opts.Jitter = 0
 		}
 		specs := ablationWorkloads(h, false)
+		rcJitter := func() workload.RunConfig {
+			rc := h.runConfig(pcie.FCFS{})
+			rc.Sys.Jitter = h.Opts.Jitter
+			return rc
+		}
+		mechJob := func(spec workload.Spec, mech core.Mechanism) simJob {
+			return simJob{spec: spec, rc: rcJitter(),
+				pol:  func(n int) core.Policy { return policy.NewDSS(n) },
+				mech: func() core.Mechanism { return mech }, label: "DSS/" + mech.Name()}
+		}
+		var jobs []simJob
+		for _, spec := range specs {
+			jobs = append(jobs,
+				simJob{spec: spec, rc: rcJitter(),
+					pol: func(n int) core.Policy { return policy.NewFCFS() }, label: "FCFS"},
+				mechJob(spec, preempt.ContextSwitch{}),
+				mechJob(spec, preempt.Drain{}))
+		}
+		results, err := h.runAll(jobs)
+		if err != nil {
+			return nil, err
+		}
 		var degCS, degDrain float64
 		n := 0
-		for _, spec := range specs {
-			rcBase := h.runConfig(pcie.FCFS{})
-			rcBase.Sys.Jitter = h.Opts.Jitter
-			baseRes, err := h.run(spec, rcBase, func(n int) core.Policy { return policy.NewFCFS() }, nil, "FCFS")
-			if err != nil {
-				return nil, err
-			}
+		for si := range specs {
+			baseRes := results[3*si]
 			basePerfs, err := h.perf(baseRes)
 			if err != nil {
 				return nil, err
@@ -149,15 +170,7 @@ func AblationJitter(o Options, jitters []float64) (*AblationResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			stpOf := func(mech core.Mechanism) (float64, error) {
-				rc := h.runConfig(pcie.FCFS{})
-				rc.Sys.Jitter = h.Opts.Jitter
-				r, err := h.run(spec, rc,
-					func(n int) core.Policy { return policy.NewDSS(n) },
-					func() core.Mechanism { return mech }, "DSS/"+mech.Name())
-				if err != nil {
-					return 0, err
-				}
+			stpOf := func(r *workload.Result) (float64, error) {
 				perfs, err := h.perf(r)
 				if err != nil {
 					return 0, err
@@ -168,11 +181,11 @@ func AblationJitter(o Options, jitters []float64) (*AblationResult, error) {
 				}
 				return sum.STP, nil
 			}
-			stpCS, err := stpOf(preempt.ContextSwitch{})
+			stpCS, err := stpOf(results[3*si+1])
 			if err != nil {
 				return nil, err
 			}
-			stpDrain, err := stpOf(preempt.Drain{})
+			stpDrain, err := stpOf(results[3*si+2])
 			if err != nil {
 				return nil, err
 			}
@@ -203,19 +216,28 @@ func AblationActiveLimit(o Options, limits []int) (*AblationResult, error) {
 	specs := workload.Random(h.Suite, 8, h.Opts.PerSize, h.Opts.Seed+8, false)
 	res := &AblationResult{Name: "active-kernel limit (KSRT/active-queue capacity)",
 		Columns: []string{"DSS-CS ANTT"}}
+	var jobs []simJob
 	for _, lim := range limits {
-		antt := 0.0
-		n := 0
 		for _, spec := range specs {
 			rc := h.runConfig(pcie.FCFS{})
 			rc.Sys.ActiveLimit = lim
-			r, err := h.run(spec, rc,
-				func(n int) core.Policy { return policy.NewDSS(n) },
-				func() core.Mechanism { return preempt.ContextSwitch{} },
-				fmt.Sprintf("DSS/limit=%d", lim))
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, simJob{spec: spec, rc: rc,
+				pol:   func(n int) core.Policy { return policy.NewDSS(n) },
+				mech:  func() core.Mechanism { return preempt.ContextSwitch{} },
+				label: fmt.Sprintf("DSS/limit=%d", lim)})
+		}
+	}
+	results, err := h.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	next := 0
+	for _, lim := range limits {
+		antt := 0.0
+		n := 0
+		for range specs {
+			r := results[next]
+			next++
 			perfs, err := h.perf(r)
 			if err != nil {
 				return nil, err
@@ -243,38 +265,42 @@ func AblationTokens(o Options) (*AblationResult, error) {
 	specs := ablationWorkloads(h, true)
 	res := &AblationResult{Name: "DSS token weighting (equal vs 2x high-priority share)",
 		Columns: []string{"hp NTT improvement", "ANTT"}}
+	// The FCFS baseline is shared by both token weightings.
+	jobs := baselineJobs(h, specs)
+	for _, weighted := range []bool{false, true} {
+		weighted := weighted
+		pol := func(nproc int) core.Policy {
+			p := policy.NewDSS(nproc)
+			if weighted {
+				p.TokenFunc = func(fw *core.Framework, k *core.KSR) int {
+					shares := nproc + 1 // high-priority counts twice
+					tc := fw.NumSMs() / shares
+					if k.Priority() > 0 {
+						return 2 * tc
+					}
+					return tc
+				}
+			}
+			return p
+		}
+		for _, spec := range specs {
+			jobs = append(jobs, simJob{spec: spec, rc: h.runConfig(pcie.FCFS{}), pol: pol,
+				mech:  func() core.Mechanism { return preempt.ContextSwitch{} },
+				label: fmt.Sprintf("DSS/weighted=%v", weighted)})
+		}
+	}
+	results, err := h.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	next := len(specs)
 	for _, weighted := range []bool{false, true} {
 		imp, antt := 0.0, 0.0
 		n := 0
-		for _, spec := range specs {
-			base := spec
-			base.HighPriority = -1
-			baseRes, err := h.run(base, h.runConfig(pcie.FCFS{}),
-				func(int) core.Policy { return policy.NewFCFS() }, nil, "FCFS")
-			if err != nil {
-				return nil, err
-			}
+		for si := range specs {
+			baseRes, r := results[si], results[next]
+			next++
 			baseNTT, err := h.appNTT(baseRes, 0)
-			if err != nil {
-				return nil, err
-			}
-			pol := func(nproc int) core.Policy {
-				p := policy.NewDSS(nproc)
-				if weighted {
-					p.TokenFunc = func(fw *core.Framework, k *core.KSR) int {
-						shares := nproc + 1 // high-priority counts twice
-						tc := fw.NumSMs() / shares
-						if k.Priority() > 0 {
-							return 2 * tc
-						}
-						return tc
-					}
-				}
-				return p
-			}
-			r, err := h.run(spec, h.runConfig(pcie.FCFS{}), pol,
-				func() core.Mechanism { return preempt.ContextSwitch{} },
-				fmt.Sprintf("DSS/weighted=%v", weighted))
 			if err != nil {
 				return nil, err
 			}
@@ -317,7 +343,7 @@ func AblationSharedMem() (*Table, error) {
 	wide := gpu.DefaultConfig()
 	wide.SharedMemConfigs = []int{48 * 1024}
 
-	rows, err := RunTable1()
+	rows, err := RunTable1(Options{})
 	if err != nil {
 		return nil, err
 	}

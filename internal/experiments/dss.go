@@ -166,7 +166,9 @@ func (r *Fig8Result) CrossPoint(size int) float64 {
 // RunDSS runs the equal-spatial-sharing experiments of §4.4: random
 // workloads (no priorities), DSS with equal token budgets versus FCFS,
 // with both preemption mechanisms. The transfer engine uses FCFS scheduling
-// throughout, as in the paper.
+// throughout, as in the paper. The size x workload x configuration grid is
+// submitted to the shared concurrent runner; aggregation walks the results
+// in submission order, so the tables are identical at any worker count.
 func RunDSS(o Options) (*Fig7Result, *Fig8Result, error) {
 	h := NewHarness(o)
 	o = h.Opts
@@ -192,17 +194,32 @@ func RunDSS(o Options) (*Fig7Result, *Fig8Result, error) {
 			func() core.Mechanism { return preempt.Drain{} }},
 	}
 
+	specsBySize := make(map[int][]workload.Spec, len(o.Sizes))
+	var jobs []simJob
+	for _, size := range o.Sizes {
+		specs := workload.Random(h.Suite, size, o.PerSize, o.Seed+uint64(size), false)
+		specsBySize[size] = specs
+		for _, spec := range specs {
+			for _, c := range confs {
+				jobs = append(jobs, simJob{spec: spec, rc: h.runConfig(pcie.FCFS{}),
+					pol: c.pol, mech: c.mk, label: c.label})
+			}
+		}
+	}
+	results, err := h.runAll(jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	next := 0
 	for _, size := range o.Sizes {
 		fig8.ANTT[size] = make(map[string][]float64)
-		specs := workload.Random(h.Suite, size, o.PerSize, o.Seed+uint64(size), false)
-		for _, spec := range specs {
+		for _, spec := range specsBySize[size] {
 			var base metrics.Summary
 			var baseNTTs []float64
 			for ci, c := range confs {
-				res, err := h.run(spec, h.runConfig(pcie.FCFS{}), c.pol, c.mk, c.label)
-				if err != nil {
-					return nil, nil, err
-				}
+				res := results[next]
+				next++
 				perfs, err := h.perf(res)
 				if err != nil {
 					return nil, nil, err

@@ -5,8 +5,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	"strings"
 
@@ -14,6 +16,8 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/parboil"
 	"repro/internal/pcie"
+	"repro/internal/policy"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/system"
 	"repro/internal/trace"
@@ -37,8 +41,16 @@ type Options struct {
 	Scale int
 	// Jitter is the per-thread-block time variability. Default 0.30.
 	Jitter float64
-	// Progress, when non-nil, receives one line per completed simulation.
+	// Progress, when non-nil, receives one line per completed simulation,
+	// prefixed with a [completed/total] job counter.
 	Progress io.Writer
+	// Workers bounds the number of concurrently running simulations
+	// (0 = runtime.NumCPU(), 1 = sequential). Every simulation derives its
+	// randomness from its grid coordinates, so results are identical at any
+	// worker count.
+	Workers int
+	// Context, when non-nil, cancels an in-flight experiment grid.
+	Context context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -98,20 +110,73 @@ func (h *Harness) Isolated(app *trace.App) (sim.Time, error) {
 	return h.iso.Isolated(app, h.runConfig(pcie.FCFS{}))
 }
 
-// run simulates one workload under the given policy/mechanism factories.
-func (h *Harness) run(spec workload.Spec, rc workload.RunConfig,
-	pol func(n int) core.Policy, mech func() core.Mechanism, label string) (*workload.Result, error) {
-	rc.Policy = pol
-	rc.Mechanism = mech
-	res, err := workload.Run(spec, rc)
+// simJob is one independent simulation cell of an experiment grid: a
+// workload, a machine configuration, and the policy/mechanism under test.
+// Every job is a pure function of its fields (the workload's Seed carries
+// all randomness), so jobs may run in any order on any number of workers.
+type simJob struct {
+	spec  workload.Spec
+	rc    workload.RunConfig
+	pol   func(n int) core.Policy
+	mech  func() core.Mechanism
+	label string
+}
+
+// run simulates one job.
+func (h *Harness) run(j simJob) (*workload.Result, error) {
+	rc := j.rc
+	rc.Policy = j.pol
+	rc.Mechanism = j.mech
+	res, err := workload.Run(j.spec, rc)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %s on %s: %w", label, spec.Name, err)
-	}
-	if h.Opts.Progress != nil {
-		fmt.Fprintf(h.Opts.Progress, "  %-10s %-9s end=%-12v util=%.2f preempt=%d\n",
-			spec.Name, label, res.EndTime, res.Utilization, res.Stats.Preemptions)
+		return nil, fmt.Errorf("experiments: %s on %s: %w", j.label, j.spec.Name, err)
 	}
 	return res, nil
+}
+
+// baselineJobs builds one nonprioritized FCFS baseline job per workload
+// (the "nonprioritized execution" reference the priority sweeps compare
+// against). The baseline is independent of any swept parameter, so sweeps
+// submit these once and share the results across all sweep values.
+func baselineJobs(h *Harness, specs []workload.Spec) []simJob {
+	jobs := make([]simJob, 0, len(specs))
+	for _, spec := range specs {
+		base := spec
+		base.HighPriority = -1
+		jobs = append(jobs, simJob{spec: base, rc: h.runConfig(pcie.FCFS{}),
+			pol: func(int) core.Policy { return policy.NewFCFS() }, label: "FCFS"})
+	}
+	return jobs
+}
+
+// runAll submits the grid to the shared concurrent runner and returns one
+// result per job, in submission order. Experiments build their job list in
+// the same nested-loop order their aggregation walks, so aggregating
+// results[i] in that order reproduces the sequential path exactly.
+func (h *Harness) runAll(jobs []simJob) ([]*workload.Result, error) {
+	ctx := h.Opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	total := len(jobs)
+	var mu sync.Mutex
+	done := 0
+	return runner.Map(ctx, total, runner.Options{Workers: h.Opts.Workers},
+		func(ctx context.Context, i int) (*workload.Result, error) {
+			j := jobs[i]
+			res, err := h.run(j)
+			if err != nil {
+				return nil, err
+			}
+			if h.Opts.Progress != nil {
+				mu.Lock()
+				done++
+				fmt.Fprintf(h.Opts.Progress, "  [%d/%d] %-10s %-9s end=%-12v util=%.2f preempt=%d\n",
+					done, total, j.spec.Name, j.label, res.EndTime, res.Utilization, res.Stats.Preemptions)
+				mu.Unlock()
+			}
+			return res, nil
+		})
 }
 
 // perf builds the per-application performance pairs for a workload result.

@@ -22,7 +22,7 @@ func quickOpts(sizes ...int) Options {
 }
 
 func TestTable1MatchesPublishedValues(t *testing.T) {
-	rows, err := RunTable1()
+	rows, err := RunTable1(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestTable2Renders(t *testing.T) {
 }
 
 func TestFig2PreemptionOrdering(t *testing.T) {
-	r, err := RunFig2(1)
+	r, err := RunFig2(1, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/pcie"
 	"repro/internal/policy"
 	"repro/internal/preempt"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/system"
 	"repro/internal/trace"
@@ -59,8 +61,11 @@ func fig2App(name string, delay sim.Time, tbs int, tbTime sim.Time, regs int) *t
 	return app
 }
 
-// RunFig2 simulates the Figure 2 scenario under the three schedulers.
-func RunFig2(seed uint64) (*Fig2Result, error) {
+// RunFig2 simulates the Figure 2 scenario under the three schedulers. The
+// three simulations are independent, so they run concurrently on the shared
+// runner, honoring o.Workers and o.Context; the other options do not apply
+// to this fixed scenario.
+func RunFig2(seed uint64, o Options) (*Fig2Result, error) {
 	// K1 and K2: long kernels that together occupy the machine for a long
 	// time (occupancy 1 via heavy register use). K3: a short high-priority
 	// kernel launched while K1 runs.
@@ -74,36 +79,41 @@ func RunFig2(seed uint64) (*Fig2Result, error) {
 		HighPriority: 2,
 		Seed:         seed,
 	}
-	run := func(pol func(n int) core.Policy, mech func() core.Mechanism) (sim.Time, error) {
-		rc := workload.RunConfig{
-			Sys:       systemConfigForFig2(seed),
-			Policy:    pol,
-			Mechanism: mech,
-			MinRuns:   1,
-		}
-		res, err := workload.Run(spec, rc)
-		if err != nil {
-			return 0, err
-		}
-		if !res.Completed {
-			return 0, fmt.Errorf("experiments: fig2 scenario did not complete")
-		}
-		return res.Apps[2].MeanTurnaround, nil
+	type sched struct {
+		pol  func(n int) core.Policy
+		mech func() core.Mechanism
 	}
-
-	var r Fig2Result
-	var err error
-	if r.FCFS, err = run(func(n int) core.Policy { return policy.NewFCFS() }, nil); err != nil {
+	scheds := []sched{
+		{func(n int) core.Policy { return policy.NewFCFS() }, nil},
+		{func(n int) core.Policy { return policy.NewNPQ() }, nil},
+		{func(n int) core.Policy { return policy.NewPPQ(false) },
+			func() core.Mechanism { return preempt.ContextSwitch{} }},
+	}
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	times, err := runner.Map(ctx, len(scheds), runner.Options{Workers: o.Workers},
+		func(ctx context.Context, i int) (sim.Time, error) {
+			rc := workload.RunConfig{
+				Sys:       systemConfigForFig2(seed),
+				Policy:    scheds[i].pol,
+				Mechanism: scheds[i].mech,
+				MinRuns:   1,
+			}
+			res, err := workload.Run(spec, rc)
+			if err != nil {
+				return 0, err
+			}
+			if !res.Completed {
+				return 0, fmt.Errorf("experiments: fig2 scenario did not complete")
+			}
+			return res.Apps[2].MeanTurnaround, nil
+		})
+	if err != nil {
 		return nil, err
 	}
-	if r.NPQ, err = run(func(n int) core.Policy { return policy.NewNPQ() }, nil); err != nil {
-		return nil, err
-	}
-	if r.PPQ, err = run(func(n int) core.Policy { return policy.NewPPQ(false) },
-		func() core.Mechanism { return preempt.ContextSwitch{} }); err != nil {
-		return nil, err
-	}
-	return &r, nil
+	return &Fig2Result{FCFS: times[0], NPQ: times[1], PPQ: times[2]}, nil
 }
 
 func systemConfigForFig2(seed uint64) system.Config {

@@ -55,7 +55,8 @@ func (r *MPSResult) Table() *Table {
 	return t
 }
 
-// RunMPS runs the MPS comparison on random workloads without priorities.
+// RunMPS runs the MPS comparison on random workloads without priorities,
+// fanning the size x workload x configuration grid out on the shared runner.
 func RunMPS(o Options) (*MPSResult, error) {
 	h := NewHarness(o)
 	o = h.Opts
@@ -73,16 +74,30 @@ func RunMPS(o Options) (*MPSResult, error) {
 		{ConfDSSCS, func(n int) core.Policy { return policy.NewDSS(n) },
 			func() core.Mechanism { return preempt.ContextSwitch{} }, false},
 	}
+	specsBySize := make(map[int][]workload.Spec, len(o.Sizes))
+	var jobs []simJob
 	for _, size := range o.Sizes {
 		specs := workload.Random(h.Suite, size, o.PerSize, o.Seed+uint64(size), false)
+		specsBySize[size] = specs
 		for _, spec := range specs {
 			for _, c := range confs {
 				rc := h.runConfig(pcie.FCFS{})
 				rc.MPS = c.mps
-				r, err := h.run(spec, rc, c.pol, c.mk, c.label)
-				if err != nil {
-					return nil, err
-				}
+				jobs = append(jobs, simJob{spec: spec, rc: rc, pol: c.pol, mech: c.mk, label: c.label})
+			}
+		}
+	}
+	results, err := h.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	next := 0
+	for _, size := range o.Sizes {
+		for range specsBySize[size] {
+			for _, c := range confs {
+				r := results[next]
+				next++
 				perfs, err := h.perf(r)
 				if err != nil {
 					return nil, err

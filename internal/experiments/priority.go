@@ -105,7 +105,9 @@ func (r *Fig6Result) Table() *Table {
 // RunPriority runs the preemption-mechanism experiments of §4.2/§4.3: random
 // workloads with one high-priority process, comparing NPQ and PPQ (both
 // mechanisms, both access schemes) against the FCFS baseline. The transfer
-// engine uses NPQ scheduling throughout, as in the paper.
+// engine uses NPQ scheduling throughout, as in the paper. All simulations of
+// the grid run concurrently on the shared runner; aggregation is in
+// submission order, so results are identical at any worker count.
 func RunPriority(o Options) (*Fig5Result, *Fig6Result, error) {
 	h := NewHarness(o)
 	o = h.Opts
@@ -139,18 +141,34 @@ func RunPriority(o Options) (*Fig5Result, *Fig6Result, error) {
 			pol: func(n int) core.Policy { return policy.NewPPQ(true) }, mk: dr},
 	}
 
+	specsBySize := make(map[int][]workload.Spec, len(o.Sizes))
+	var jobs []simJob
 	for _, size := range o.Sizes {
 		specs := workload.Random(h.Suite, size, o.PerSize, o.Seed+uint64(size), true)
+		specsBySize[size] = specs
 		for _, spec := range specs {
 			// Baseline: the same workload on the FCFS machine with no
 			// priorities ("nonprioritized execution").
 			base := spec
 			base.HighPriority = -1
-			baseRes, err := h.run(base, h.runConfig(pcie.FCFS{}),
-				func(n int) core.Policy { return policy.NewFCFS() }, nil, "FCFS")
-			if err != nil {
-				return nil, nil, err
+			jobs = append(jobs, simJob{spec: base, rc: h.runConfig(pcie.FCFS{}),
+				pol: func(n int) core.Policy { return policy.NewFCFS() }, label: "FCFS"})
+			for _, s := range schedulers {
+				jobs = append(jobs, simJob{spec: spec, rc: h.runConfig(pcie.PriorityFCFS{}),
+					pol: s.pol, mech: s.mk, label: s.label})
 			}
+		}
+	}
+	results, err := h.runAll(jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	next := 0
+	for _, size := range o.Sizes {
+		for _, spec := range specsBySize[size] {
+			baseRes := results[next]
+			next++
 			baseNTT, err := h.appNTT(baseRes, 0)
 			if err != nil {
 				return nil, nil, err
@@ -159,10 +177,8 @@ func RunPriority(o Options) (*Fig5Result, *Fig6Result, error) {
 			group := spec.Apps[0].Class1.String()
 			var npqSTP float64
 			for _, s := range schedulers {
-				res, err := h.run(spec, h.runConfig(pcie.PriorityFCFS{}), s.pol, s.mk, s.label)
-				if err != nil {
-					return nil, nil, err
-				}
+				res := results[next]
+				next++
 				perfs, err := h.perf(res)
 				if err != nil {
 					return nil, nil, err

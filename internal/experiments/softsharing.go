@@ -32,14 +32,29 @@ func RunStaticVsDSS(o Options) (*MPSResult, error) {
 		{ConfDSSCS, func(n int) core.Policy { return policy.NewDSS(n) },
 			func() core.Mechanism { return preempt.ContextSwitch{} }},
 	}
+	specsBySize := make(map[int][]workload.Spec, len(o.Sizes))
+	var jobs []simJob
 	for _, size := range o.Sizes {
 		specs := workload.Random(h.Suite, size, o.PerSize, o.Seed+uint64(size), false)
+		specsBySize[size] = specs
 		for _, spec := range specs {
 			for _, c := range confs {
-				r, err := h.run(spec, h.runConfig(pcie.FCFS{}), c.pol, c.mk, c.label)
-				if err != nil {
-					return nil, err
-				}
+				jobs = append(jobs, simJob{spec: spec, rc: h.runConfig(pcie.FCFS{}),
+					pol: c.pol, mech: c.mk, label: c.label})
+			}
+		}
+	}
+	results, err := h.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	next := 0
+	for _, size := range o.Sizes {
+		for range specsBySize[size] {
+			for _, c := range confs {
+				r := results[next]
+				next++
 				perfs, err := h.perf(r)
 				if err != nil {
 					return nil, err
@@ -99,85 +114,91 @@ func RunSlicing(o Options, sliceSizes []int) (*AblationResult, error) {
 		Columns: []string{"hp NTT improvement", "STP"},
 	}
 
-	eval := func(label string, transform func(*trace.App) *trace.App,
-		pol func(n int) core.Policy, mk func() core.Mechanism) error {
-		imp, stp := 0.0, 0.0
-		n := 0
+	type eval struct {
+		label     string
+		transform func(*trace.App) *trace.App
+		pol       func(n int) core.Policy
+		mk        func() core.Mechanism
+	}
+	var evals []eval
+	for _, slice := range sliceSizes {
+		e := eval{label: "NPQ unsliced",
+			pol: func(n int) core.Policy { return policy.NewNPQ() }}
+		if slice > 0 {
+			s := slice
+			e.label = fmt.Sprintf("NPQ sliced @%d TBs", slice)
+			e.transform = func(a *trace.App) *trace.App { return trace.SliceKernels(a, s) }
+		}
+		evals = append(evals, e)
+	}
+	// Hardware preemption reference.
+	evals = append(evals, eval{label: "PPQ context switch (hardware)",
+		pol: func(n int) core.Policy { return policy.NewPPQ(false) },
+		mk:  func() core.Mechanism { return preempt.ContextSwitch{} }})
+
+	// One shared FCFS baseline per workload plus one run under test per
+	// (evaluation, workload).
+	jobs := baselineJobs(h, specs)
+	for _, e := range evals {
 		for _, spec := range specs {
-			base := spec
-			base.HighPriority = -1
-			baseRes, err := h.run(base, h.runConfig(pcie.FCFS{}),
-				func(int) core.Policy { return policy.NewFCFS() }, nil, "FCFS")
-			if err != nil {
-				return err
-			}
-			baseNTT, err := h.appNTT(baseRes, 0)
-			if err != nil {
-				return err
-			}
 			run := spec
-			if transform != nil {
+			if e.transform != nil {
 				apps := make([]*trace.App, len(spec.Apps))
 				for i, a := range spec.Apps {
-					apps[i] = transform(a)
+					apps[i] = e.transform(a)
 				}
 				run.Apps = apps
 			}
-			r, err := h.run(run, h.runConfig(pcie.PriorityFCFS{}), pol, mk, label)
+			jobs = append(jobs, simJob{spec: run, rc: h.runConfig(pcie.PriorityFCFS{}),
+				pol: e.pol, mech: e.mk, label: e.label})
+		}
+	}
+	results, err := h.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	next := len(specs)
+	for _, e := range evals {
+		imp, stp := 0.0, 0.0
+		n := 0
+		for si, spec := range specs {
+			baseRes, r := results[si], results[next]
+			next++
+			baseNTT, err := h.appNTT(baseRes, 0)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			// NTT of the high-priority app: isolated baselines come from
 			// the unsliced traces (slicing changes the trace, not the app).
 			iso, err := h.Isolated(spec.Apps[0])
 			if err != nil {
-				return err
+				return nil, err
 			}
 			hp := metrics.AppPerf{Name: r.Apps[0].Name, Isolated: iso, Shared: r.Apps[0].MeanTurnaround}
 			perfs := make([]metrics.AppPerf, len(r.Apps))
 			for i := range r.Apps {
 				isoI, err := h.Isolated(spec.Apps[i])
 				if err != nil {
-					return err
+					return nil, err
 				}
 				perfs[i] = metrics.AppPerf{Name: r.Apps[i].Name, Isolated: isoI, Shared: r.Apps[i].MeanTurnaround}
 			}
 			sum, err := metrics.Summarize(perfs)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			imp += baseNTT / hp.NTT()
 			stp += sum.STP
 			n++
 		}
 		res.Points = append(res.Points, AblationPoint{
-			Param: label,
+			Param: e.label,
 			Values: map[string]float64{
 				"hp NTT improvement": imp / float64(n),
 				"STP":                stp / float64(n),
 			},
 		})
-		return nil
-	}
-
-	for _, slice := range sliceSizes {
-		label := "NPQ unsliced"
-		var transform func(*trace.App) *trace.App
-		if slice > 0 {
-			label = fmt.Sprintf("NPQ sliced @%d TBs", slice)
-			s := slice
-			transform = func(a *trace.App) *trace.App { return trace.SliceKernels(a, s) }
-		}
-		if err := eval(label, transform,
-			func(n int) core.Policy { return policy.NewNPQ() }, nil); err != nil {
-			return nil, err
-		}
-	}
-	// Hardware preemption reference.
-	if err := eval("PPQ context switch (hardware)", nil,
-		func(n int) core.Policy { return policy.NewPPQ(false) },
-		func() core.Mechanism { return preempt.ContextSwitch{} }); err != nil {
-		return nil, err
 	}
 	return res, nil
 }

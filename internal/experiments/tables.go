@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/gpu"
 	"repro/internal/parboil"
 	"repro/internal/pcie"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -40,46 +42,52 @@ func (r Table1Row) Spec() trace.KernelSpec {
 
 // RunTable1 recomputes the derived columns of Table 1 with this
 // implementation's occupancy and context calculators, for comparison with
-// the published values.
-func RunTable1() ([]Table1Row, error) {
-	cfg := gpu.DefaultConfig()
-	var rows []Table1Row
-	for _, r := range parboil.Table1() {
-		spec := trace.KernelSpec{
-			Name:           r.Kernel,
-			NumTBs:         r.NumTBs,
-			TBTime:         sim.Microseconds(r.TimePerTBUs),
-			RegsPerTB:      r.RegsPerTB,
-			SharedMemPerTB: r.SharedMemB,
-			ThreadsPerTB:   r.ThreadsPerTB,
-			Launches:       r.Launches,
-		}
-		occ, err := cfg.Occupancy(&spec)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: table1 %s/%s: %w", r.App, r.Kernel, err)
-		}
-		util, err := cfg.ResourceUtilization(&spec)
-		if err != nil {
-			return nil, err
-		}
-		save, err := cfg.SaveTime(&spec)
-		if err != nil {
-			return nil, err
-		}
-		app, err := parboil.App(r.App)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Table1Row{
-			Row:            r,
-			GotTBsPerSM:    occ,
-			GotResourcePct: util * 100,
-			GotSaveUs:      save.Microseconds(),
-			Class1:         app.Class1,
-			Class2:         app.Class2,
-		})
+// the published values. Rows are independent, so they are computed on the
+// shared runner (o.Workers, o.Context) and returned in Table 1 order.
+func RunTable1(o Options) ([]Table1Row, error) {
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return rows, nil
+	cfg := gpu.DefaultConfig()
+	table := parboil.Table1()
+	return runner.Map(ctx, len(table), runner.Options{Workers: o.Workers},
+		func(ctx context.Context, i int) (Table1Row, error) {
+			r := table[i]
+			spec := trace.KernelSpec{
+				Name:           r.Kernel,
+				NumTBs:         r.NumTBs,
+				TBTime:         sim.Microseconds(r.TimePerTBUs),
+				RegsPerTB:      r.RegsPerTB,
+				SharedMemPerTB: r.SharedMemB,
+				ThreadsPerTB:   r.ThreadsPerTB,
+				Launches:       r.Launches,
+			}
+			occ, err := cfg.Occupancy(&spec)
+			if err != nil {
+				return Table1Row{}, fmt.Errorf("experiments: table1 %s/%s: %w", r.App, r.Kernel, err)
+			}
+			util, err := cfg.ResourceUtilization(&spec)
+			if err != nil {
+				return Table1Row{}, err
+			}
+			save, err := cfg.SaveTime(&spec)
+			if err != nil {
+				return Table1Row{}, err
+			}
+			app, err := parboil.App(r.App)
+			if err != nil {
+				return Table1Row{}, err
+			}
+			return Table1Row{
+				Row:            r,
+				GotTBsPerSM:    occ,
+				GotResourcePct: util * 100,
+				GotSaveUs:      save.Microseconds(),
+				Class1:         app.Class1,
+				Class2:         app.Class2,
+			}, nil
+		})
 }
 
 // Table1Table renders the recomputed Table 1.

@@ -76,6 +76,19 @@ func Hash64(vals ...uint64) uint64 {
 	return h
 }
 
+// SeedFrom derives a child seed from a base seed and the coordinates of a
+// job in some grid (workload size, index within size, replica number, ...).
+// The derivation is a pure hash, so concurrent jobs get the same seeds in
+// any execution order. The result is never zero, making it safe for fields
+// where zero means "unset" (e.g. workload.Spec.Seed).
+func SeedFrom(base uint64, coords ...uint64) uint64 {
+	h := Hash64(append([]uint64{base}, coords...)...)
+	if h == 0 {
+		h = 0x9e3779b97f4a7c15
+	}
+	return h
+}
+
 // JitterFactor returns a deterministic multiplicative factor in
 // [1-frac, 1+frac] derived from the given identifiers. frac must be in
 // [0, 1); a frac of 0 always yields exactly 1.

@@ -1,0 +1,105 @@
+// Package runner is the shared concurrent job runner behind the experiment
+// grids. The paper's evaluation replays hundreds of independent simulations
+// (policy x workload x size cells); each cell is a pure function of its
+// configuration and seed, so the grid is embarrassingly parallel. Map fans a
+// job list out over a bounded worker pool and returns results in submission
+// order, which makes aggregation deterministic: callers iterate the result
+// slice exactly as the old sequential loops iterated their grids, so the
+// output is byte-identical at any worker count.
+package runner
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Options configures a Map call.
+type Options struct {
+	// Workers bounds the number of concurrently running jobs. Zero or
+	// negative means runtime.NumCPU().
+	Workers int
+	// OnProgress, when non-nil, is called after every completed job with
+	// (completed, total). Calls are serialized; completed increases
+	// monotonically from 1 to total.
+	OnProgress func(completed, total int)
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) on a pool of Options.Workers
+// goroutines and returns the n results in index order. The first error
+// cancels the pool's context and is returned after in-flight jobs finish;
+// cancelling ctx has the same effect and returns ctx's error. fn must be
+// safe for concurrent use; any randomness inside fn must be derived from i
+// (see rng.SeedFrom), never from scheduling order.
+func Map[T any](ctx context.Context, n int, o Options, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := o.workers()
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	idx := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		done     int
+	)
+	go func() {
+		defer close(idx)
+		for i := 0; i < n; i++ {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				v, err := fn(ctx, i)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+						cancel()
+					}
+				} else {
+					out[i] = v
+					done++
+					if o.OnProgress != nil {
+						o.OnProgress(done, n)
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := parent.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -9,6 +9,7 @@ package workload
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/gpu"
@@ -69,7 +70,7 @@ func Random(suite []*trace.App, size, count int, seed uint64, withHighPriority b
 			Name:         fmt.Sprintf("w%dp-%02d", size, i),
 			Apps:         apps,
 			HighPriority: hp,
-			Seed:         rng.Hash64(seed, uint64(size), uint64(i)),
+			Seed:         rng.SeedFrom(seed, uint64(size), uint64(i)),
 		})
 	}
 	return specs
@@ -331,24 +332,37 @@ func (p *baselineFCFS) assign(fw *core.Framework) {
 	}
 }
 
-// Cache memoizes isolated baselines per (app, machine-relevant key).
+// Cache memoizes isolated baselines per (app, machine-relevant key). It is
+// safe for concurrent use: experiment workers may look up baselines while
+// other simulations are in flight.
 type Cache struct {
-	entries map[string]sim.Time
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+}
+
+// cacheEntry computes one baseline exactly once; distinct keys compute
+// concurrently without holding the cache lock.
+type cacheEntry struct {
+	once sync.Once
+	t    sim.Time
+	err  error
 }
 
 // NewCache returns an empty baseline cache.
-func NewCache() *Cache { return &Cache{entries: make(map[string]sim.Time)} }
+func NewCache() *Cache { return &Cache{entries: make(map[string]*cacheEntry)} }
 
 // Isolated returns the cached isolated turnaround, computing it on demand.
+// Concurrent callers with the same key share one simulation; callers with
+// different keys do not block each other.
 func (c *Cache) Isolated(app *trace.App, rc RunConfig) (sim.Time, error) {
 	key := fmt.Sprintf("%s|%d|%d|%.3f|%d", app.Name, rc.Sys.GPU.NumSMs, rc.MinRuns, rc.Sys.Jitter, rc.Sys.Seed)
-	if t, ok := c.entries[key]; ok {
-		return t, nil
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
 	}
-	t, err := Isolated(app, rc)
-	if err != nil {
-		return 0, err
-	}
-	c.entries[key] = t
-	return t, nil
+	c.mu.Unlock()
+	e.once.Do(func() { e.t, e.err = Isolated(app, rc) })
+	return e.t, e.err
 }

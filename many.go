@@ -1,0 +1,66 @@
+package repro
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/rng"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// RunMany simulates a batch of independent workloads concurrently on
+// Options.Parallel workers and returns one Result per workload, in input
+// order. It is the facade over the same shared job runner that drives the
+// experiment grids (internal/runner).
+//
+// A workload with Seed == 0 gets a deterministic seed derived from
+// Options.Seed and its index in ws, so two RunMany calls with the same
+// inputs produce identical results at any worker count — identical also to
+// running the seeded workloads one at a time with Run. Cancelling ctx stops
+// unstarted workloads and returns ctx's error after in-flight simulations
+// finish.
+func RunMany(ctx context.Context, ws []Workload, o Options) ([]*Result, error) {
+	o = o.fill()
+	if len(ws) == 0 {
+		return nil, ctx.Err()
+	}
+	// Isolated baselines depend only on the application and the shared
+	// options, not on per-workload seeds, so workloads sharing applications
+	// (e.g. replicas of one workload) share one baseline simulation. Keyed
+	// by trace identity: distinct traces with equal names stay distinct.
+	isoRC, err := o.isolatedConfig()
+	if err != nil {
+		return nil, err
+	}
+	// Per-app once: each baseline simulates exactly once, but baselines of
+	// distinct apps run concurrently instead of serializing on one lock.
+	type isoEntry struct {
+		once sync.Once
+		t    sim.Time
+		err  error
+	}
+	var mu sync.Mutex
+	memo := make(map[*trace.App]*isoEntry)
+	iso := func(a *trace.App) (sim.Time, error) {
+		mu.Lock()
+		e, ok := memo[a]
+		if !ok {
+			e = &isoEntry{}
+			memo[a] = e
+		}
+		mu.Unlock()
+		e.once.Do(func() { e.t, e.err = workload.Isolated(a, isoRC) })
+		return e.t, e.err
+	}
+	return runner.Map(ctx, len(ws), runner.Options{Workers: o.Parallel, OnProgress: o.OnProgress},
+		func(ctx context.Context, i int) (*Result, error) {
+			w := ws[i]
+			if w.Seed == 0 {
+				w.Seed = rng.SeedFrom(o.Seed, uint64(i))
+			}
+			return run(w, o, iso)
+		})
+}

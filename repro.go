@@ -129,8 +129,10 @@ type Workload struct {
 	// HighPriority is the index of the prioritized application (-1 or out
 	// of range = none).
 	HighPriority int
-	// Seed perturbs thread-block timing for this workload (0 = use
-	// Options.Seed).
+	// Seed perturbs thread-block timing for this workload. Zero means
+	// unset: Run falls back to Options.Seed, while RunMany derives a
+	// distinct deterministic seed from Options.Seed and the workload's
+	// index in the batch (so unseeded replicas differ).
 	Seed uint64
 }
 
@@ -163,6 +165,12 @@ type Options struct {
 	// Multi-Process Service does (§2.1): cross-process concurrency under
 	// FCFS, but no memory isolation and no per-process scheduling.
 	MPS bool
+	// Parallel bounds the number of concurrently simulated workloads in
+	// RunMany (0 = runtime.NumCPU(), 1 = sequential). Run ignores it.
+	Parallel int
+	// OnProgress, when non-nil, is called by RunMany after each completed
+	// workload with (completed, total). Calls are serialized.
+	OnProgress func(completed, total int)
 }
 
 // AppMetrics reports one application's outcome.
@@ -304,9 +312,22 @@ func (o Options) runConfig() (workload.RunConfig, error) {
 	}, nil
 }
 
+// isolatedConfig is the run configuration for isolated baselines: the same
+// machine under FCFS with no contention. o must already be filled.
+func (o Options) isolatedConfig() (workload.RunConfig, error) {
+	return Options{Policy: PolicyFCFS, MinRuns: o.MinRuns, Seed: o.Seed, Jitter: o.Jitter}.fill().runConfig()
+}
+
 // Run simulates a multiprogrammed workload and reports the paper's metrics.
 func Run(w Workload, o Options) (*Result, error) {
-	o = o.fill()
+	return run(w, o.fill(), nil)
+}
+
+// run is the shared implementation behind Run and RunMany. iso, when
+// non-nil, supplies isolated baseline turnarounds (RunMany passes a
+// memoizer so replicas of the same applications share baselines); nil
+// computes each baseline directly. o must already be filled.
+func run(w Workload, o Options, iso func(*trace.App) (sim.Time, error)) (*Result, error) {
 	if len(w.Apps) == 0 {
 		return nil, fmt.Errorf("repro: empty workload")
 	}
@@ -329,9 +350,12 @@ func Run(w Workload, o Options) (*Result, error) {
 	}
 
 	// Isolated baselines for the metrics.
-	isoRC, err := Options{Policy: PolicyFCFS, MinRuns: o.MinRuns, Seed: o.Seed, Jitter: o.Jitter}.fill().runConfig()
-	if err != nil {
-		return nil, err
+	if iso == nil {
+		isoRC, err := o.isolatedConfig()
+		if err != nil {
+			return nil, err
+		}
+		iso = func(a *trace.App) (sim.Time, error) { return workload.Isolated(a, isoRC) }
 	}
 	out := &Result{
 		EndTime:           time.Duration(res.EndTime),
@@ -342,16 +366,16 @@ func Run(w Workload, o Options) (*Result, error) {
 	}
 	perfs := make([]metrics.AppPerf, len(res.Apps))
 	for i, ar := range res.Apps {
-		iso, err := workload.Isolated(apps[i], isoRC)
+		isoT, err := iso(apps[i])
 		if err != nil {
 			return nil, err
 		}
-		perfs[i] = metrics.AppPerf{Name: ar.Name, Isolated: iso, Shared: ar.MeanTurnaround}
+		perfs[i] = metrics.AppPerf{Name: ar.Name, Isolated: isoT, Shared: ar.MeanTurnaround}
 		out.Apps = append(out.Apps, AppMetrics{
 			Name:         ar.Name,
 			Runs:         ar.Runs,
 			Turnaround:   time.Duration(ar.MeanTurnaround),
-			Isolated:     time.Duration(iso),
+			Isolated:     time.Duration(isoT),
 			NTT:          perfs[i].NTT(),
 			Starved:      ar.Starved,
 			HighPriority: ar.HighPriority,
@@ -380,8 +404,7 @@ func Run(w Workload, o Options) (*Result, error) {
 
 // Isolated returns the application's mean turnaround when run alone.
 func Isolated(a *App, o Options) (time.Duration, error) {
-	o = o.fill()
-	rc, err := Options{Policy: PolicyFCFS, MinRuns: o.MinRuns, Seed: o.Seed, Jitter: o.Jitter}.fill().runConfig()
+	rc, err := o.fill().isolatedConfig()
 	if err != nil {
 		return 0, err
 	}
