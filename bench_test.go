@@ -37,6 +37,7 @@ func benchOpts(sizes ...int) experiments.Options {
 
 // BenchmarkTable1 recomputes the derived columns of Table 1.
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.RunTable1(experiments.Options{})
 		if err != nil {
@@ -51,6 +52,7 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkFig2 regenerates the motivating preemption timeline (Figure 2)
 // and reports the speedup of the soft real-time kernel under PPQ vs FCFS.
 func BenchmarkFig2(b *testing.B) {
+	b.ReportAllocs()
 	var last *experiments.Fig2Result
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.RunFig2(uint64(i+1), experiments.Options{})
@@ -66,6 +68,7 @@ func BenchmarkFig2(b *testing.B) {
 // BenchmarkFig5 regenerates the high-priority NTT improvement figure for
 // 4-process workloads and reports the average improvements.
 func BenchmarkFig5(b *testing.B) {
+	b.ReportAllocs()
 	var fig5 *experiments.Fig5Result
 	for i := 0; i < b.N; i++ {
 		f5, _, err := experiments.RunPriority(benchOpts(4))
@@ -88,6 +91,7 @@ func BenchmarkFig5(b *testing.B) {
 // BenchmarkFig6 regenerates the STP-degradation figure for 4-process
 // workloads and reports the exclusive-access degradations.
 func BenchmarkFig6(b *testing.B) {
+	b.ReportAllocs()
 	var fig6 *experiments.Fig6Result
 	for i := 0; i < b.N; i++ {
 		_, f6, err := experiments.RunPriority(benchOpts(4))
@@ -107,6 +111,7 @@ func BenchmarkFig6(b *testing.B) {
 // BenchmarkFig7 regenerates the DSS equal-sharing figure for 4-process
 // workloads and reports NTT and fairness improvements.
 func BenchmarkFig7(b *testing.B) {
+	b.ReportAllocs()
 	var fig7 *experiments.Fig7Result
 	for i := 0; i < b.N; i++ {
 		f7, _, err := experiments.RunDSS(benchOpts(4))
@@ -129,6 +134,7 @@ func BenchmarkFig7(b *testing.B) {
 // BenchmarkFig8 regenerates the per-workload ANTT curves for 4-process
 // workloads and reports the median ANTT per configuration.
 func BenchmarkFig8(b *testing.B) {
+	b.ReportAllocs()
 	var fig8 *experiments.Fig8Result
 	for i := 0; i < b.N; i++ {
 		_, f8, err := experiments.RunDSS(benchOpts(4))
@@ -167,6 +173,7 @@ func benchWorkerCounts() []int {
 func BenchmarkGridWorkers(b *testing.B) {
 	for _, workers := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				o := benchOpts(2, 4, 6, 8)
 				o.Workers = workers
@@ -198,6 +205,7 @@ func BenchmarkRunManyWorkers(b *testing.B) {
 	}
 	for _, workers := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("parallel=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			o := Options{Policy: PolicyDSS, MinRuns: 2, Parallel: workers}
 			for i := 0; i < b.N; i++ {
 				if _, err := RunMany(context.Background(), ws, o); err != nil {
@@ -212,6 +220,7 @@ func BenchmarkRunManyWorkers(b *testing.B) {
 
 // BenchmarkEventEngine measures raw discrete-event throughput.
 func BenchmarkEventEngine(b *testing.B) {
+	b.ReportAllocs()
 	eng := sim.NewEngine()
 	var tick func()
 	n := 0
@@ -228,8 +237,52 @@ func BenchmarkEventEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkIssueCompleteTB isolates the per-thread-block hot path — issue,
+// completion event, refill — on a bare framework with no process replay, DMA
+// or preemption in the loop. It is the microbenchmark behind the
+// allocation-free scheduling core: each iteration pushes one kernel through
+// the machine, so allocs/op tracks the whole issue/complete cycle.
+func BenchmarkIssueCompleteTB(b *testing.B) {
+	eng := sim.NewEngine()
+	fw, err := core.New(eng, gpu.DefaultConfig(), policy.NewFCFS(), preempt.Drain{},
+		core.WithJitter(0.3), core.WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl := gpu.NewContextTable(4)
+	ctx, err := tbl.Create("bench", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := &trace.KernelSpec{
+		Name:         "micro",
+		NumTBs:       2048,
+		TBTime:       sim.Microseconds(2),
+		RegsPerTB:    8192,
+		ThreadsPerTB: 128,
+		Launches:     1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	tbs := 0
+	for i := 0; i < b.N; i++ {
+		if err := fw.Submit(&core.LaunchCmd{Ctx: ctx, Spec: spec}); err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+		tbs += spec.NumTBs
+	}
+	if fw.Stats().TBsCompleted != tbs {
+		b.Fatalf("completed %d TBs, want %d", fw.Stats().TBsCompleted, tbs)
+	}
+	b.ReportMetric(float64(tbs)/b.Elapsed().Seconds(), "TBs/s")
+}
+
 // BenchmarkOccupancy measures the occupancy calculator over Table 1.
 func BenchmarkOccupancy(b *testing.B) {
+	b.ReportAllocs()
 	cfg := gpu.DefaultConfig()
 	suite := parboil.Suite()
 	b.ResetTimer()
@@ -260,6 +313,7 @@ func benchWorkload(b *testing.B, pol func(n int) core.Policy, mech func() core.M
 	rc := workload.RunConfig{Sys: cfg, Policy: pol, Mechanism: mech, MinRuns: 2}
 	spec := workload.Spec{Name: "bench", Apps: apps, HighPriority: -1, Seed: 1}
 	totalTBs := 0
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := workload.Run(spec, rc)
@@ -300,6 +354,7 @@ func BenchmarkWorkloadDSS8Drain(b *testing.B) {
 
 // BenchmarkIsolatedBaselines measures the isolated-run path.
 func BenchmarkIsolatedBaselines(b *testing.B) {
+	b.ReportAllocs()
 	app, err := parboil.App("histo")
 	if err != nil {
 		b.Fatal(err)

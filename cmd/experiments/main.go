@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -36,8 +37,21 @@ func main() {
 		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations (1 = sequential; results are identical at any value)")
 		outDir   = flag.String("out", "", "directory for CSV output (empty = text only)")
 		quiet    = flag.Bool("q", false, "suppress per-simulation progress")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	var err error
+	stopProf, err = profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
+	}()
 
 	opts := experiments.Options{
 		Sizes:   parseSizes(*sizes),
@@ -202,7 +216,12 @@ func parseSizes(s string) []int {
 	return out
 }
 
+// stopProf flushes any active pprof capture; fatal must run it because
+// os.Exit skips main's defer.
+var stopProf = func() error { return nil }
+
 func fatal(err error) {
+	stopProf() //nolint:errcheck // exiting on the original error
 	fmt.Fprintln(os.Stderr, "experiments:", err)
 	os.Exit(1)
 }

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -36,8 +37,21 @@ func main() {
 		prioDMA  = flag.Bool("priority-dma", false, "priority scheduling on the transfer engine")
 		reps     = flag.Int("reps", 1, "simulate this many replicas of the workload under derived seeds")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent replica simulations")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	var err error
+	stopProf, err = profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "gpusim:", err)
+		}
+	}()
 
 	if *list {
 		for _, n := range repro.Names() {
@@ -161,7 +175,12 @@ func bytesHuman(b int64) string {
 	return fmt.Sprintf("%d B", b)
 }
 
+// stopProf flushes any active pprof capture; fatal must run it because
+// os.Exit skips main's defer.
+var stopProf = func() error { return nil }
+
 func fatal(err error) {
+	stopProf() //nolint:errcheck // exiting on the original error
 	fmt.Fprintln(os.Stderr, "gpusim:", err)
 	os.Exit(1)
 }

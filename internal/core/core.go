@@ -25,10 +25,11 @@ import (
 
 // KernelID is a handle to an entry of the KSRT. Handles carry a generation
 // so that a stale handle to a finished kernel can never alias the slot's new
-// occupant.
+// occupant. The (slot, generation) pair fits in 64 bits so handles can ride
+// through the event engine's closure-free dispatch as a scalar argument.
 type KernelID struct {
 	slot int
-	gen  int
+	gen  uint32
 }
 
 // NoKernel is the invalid kernel handle.
@@ -101,6 +102,10 @@ type KSR struct {
 	// Activated is when the kernel entered the active queue.
 	Activated sim.Time
 
+	// ctxBytes caches Config.TBContextBytes(Spec()) — hit once per restored
+	// thread block and per save-area touch.
+	ctxBytes int64
+
 	ptbq   []PreemptedTB
 	saveVA mmu.VAddr
 	savePA gmem.PAddr
@@ -161,11 +166,12 @@ type residentTB struct {
 	restored bool
 	start    sim.Time
 	end      sim.Time
-	ev       *sim.Event
+	ev       sim.EventID
 }
 
 // sm is one entry of the SM Status Table plus the simulated SM itself.
 type sm struct {
+	fw        *Framework // back-pointer for closure-free event dispatch
 	id        int
 	state     SMState
 	ksr       KernelID // kernel whose thread blocks occupy the SM
@@ -177,4 +183,7 @@ type sm struct {
 	ctxOnSM   int // installed context id; -1 = none
 	tlb       *mmu.TLB
 	busyFrom  sim.Time
+	// saveBuf is the reusable buffer CancelResident fills; its contents stay
+	// valid until the next CancelResident on this SM.
+	saveBuf []PreemptedTB
 }

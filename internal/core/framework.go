@@ -8,6 +8,7 @@ import (
 	"repro/internal/mmu"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Framework is the extended execution engine: the SM driver plus the
@@ -27,12 +28,23 @@ type Framework struct {
 	// order.
 	active []KernelID
 
-	// pending holds, per context id, the FIFO of launch commands whose head
-	// occupies that context's command buffer.
-	pending map[int][]*LaunchCmd
-	// pendingCtxs keeps context ids with pending commands in the arrival
-	// order of their current head.
-	pendingCtxs []int
+	// pendq holds, per context id, the FIFO of launch commands whose head
+	// occupies that context's command buffer. Entries persist (with an empty
+	// queue) once a context has submitted, so the queue's backing array is
+	// reused across submissions.
+	pendq map[int]*ctxPending
+	// pendingCtxs keeps contexts with pending commands in the arrival order
+	// of their current head. It stays sorted by head-enqueue time (stable on
+	// ties), so insertion is a binary search and removal is O(1) lookup via
+	// each entry's pos index.
+	pendingCtxs []*ctxPending
+	// ctxScratch is the reusable buffer PendingContexts copies ids into.
+	ctxScratch []int
+
+	// occ memoizes the occupancy calculation per kernel spec: Occupancy
+	// re-derives register/shared-memory/thread limits on every call, and the
+	// submit path used to pay it twice per launch.
+	occ map[*trace.KernelSpec]occInfo
 
 	activeLimit int
 	jitter      float64
@@ -47,7 +59,29 @@ type Framework struct {
 
 type ksrSlot struct {
 	k   *KSR // nil when free
-	gen int
+	gen uint32
+}
+
+// ctxPending is one context's command-buffer queue plus its position in the
+// arrival-order list. head indexes the current buffer occupant; consumed
+// entries are trimmed lazily so the slice capacity is reused.
+type ctxPending struct {
+	id   int
+	cmds []*LaunchCmd
+	head int
+	pos  int // index in fw.pendingCtxs, -1 when not listed
+}
+
+// empty reports whether the context has no pending commands.
+func (cp *ctxPending) empty() bool { return cp.head == len(cp.cmds) }
+
+// headCmd returns the command occupying the context's buffer.
+func (cp *ctxPending) headCmd() *LaunchCmd { return cp.cmds[cp.head] }
+
+// occInfo is the memoized result of the occupancy calculator for one spec.
+type occInfo struct {
+	occ  int
+	smem int
 }
 
 // Option configures a Framework.
@@ -95,7 +129,8 @@ func New(eng *sim.Engine, cfg gpu.Config, policy Policy, mech Mechanism, opts ..
 		cfg:         cfg,
 		policy:      policy,
 		mech:        mech,
-		pending:     make(map[int][]*LaunchCmd),
+		pendq:       make(map[int]*ctxPending),
+		occ:         make(map[*trace.KernelSpec]occInfo),
 		activeLimit: cfg.NumSMs,
 		jitter:      0.30,
 	}
@@ -108,6 +143,7 @@ func New(eng *sim.Engine, cfg gpu.Config, policy Policy, mech Mechanism, opts ..
 	fw.sms = make([]*sm, cfg.NumSMs)
 	for i := range fw.sms {
 		fw.sms[i] = &sm{
+			fw:       fw,
 			id:       i,
 			ksr:      NoKernel,
 			next:     NoKernel,
@@ -153,20 +189,30 @@ func (fw *Framework) Submit(cmd *LaunchCmd) error {
 	if cmd == nil || cmd.Ctx == nil || cmd.Spec == nil {
 		return fmt.Errorf("core: invalid launch command")
 	}
-	if err := cmd.Spec.Validate(); err != nil {
-		return err
-	}
-	if _, err := fw.cfg.Occupancy(cmd.Spec); err != nil {
+	if _, err := fw.occupancy(cmd.Spec); err != nil {
 		return err
 	}
 	cmd.Launch = fw.nextLaunch()
 	cmd.Enqueued = fw.eng.Now()
 	cmd.Priority = cmd.Ctx.Priority
 	ctxID := cmd.Ctx.ID
-	if len(fw.pending[ctxID]) == 0 {
-		fw.pendingCtxs = append(fw.pendingCtxs, ctxID)
+	cp := fw.pendq[ctxID]
+	if cp == nil {
+		cp = &ctxPending{id: ctxID, pos: -1}
+		fw.pendq[ctxID] = cp
 	}
-	fw.pending[ctxID] = append(fw.pending[ctxID], cmd)
+	wasEmpty := cp.empty()
+	if wasEmpty && cp.head > 0 {
+		cp.cmds = cp.cmds[:0]
+		cp.head = 0
+	}
+	cp.cmds = append(cp.cmds, cmd)
+	if wasEmpty {
+		// The new head's enqueue time is the current (monotonic) clock, so
+		// appending keeps pendingCtxs sorted and ties behind earlier arrivals.
+		cp.pos = len(fw.pendingCtxs)
+		fw.pendingCtxs = append(fw.pendingCtxs, cp)
+	}
 	fw.stats.KernelsSubmitted++
 	fw.timeline.kernelEnqueued(cmd.Launch, cmd.Spec.Name, ctxID, cmd.Enqueued)
 	fw.tryActivate()
@@ -178,62 +224,108 @@ func (fw *Framework) nextLaunch() uint64 {
 	return fw.launchSeq
 }
 
+// occupancy returns the memoized occupancy and shared-memory configuration
+// for the spec, validating and computing it on first sight. Specs are
+// treated as immutable after submission (they are throughout the tree).
+func (fw *Framework) occupancy(spec *trace.KernelSpec) (occInfo, error) {
+	if info, ok := fw.occ[spec]; ok {
+		return info, nil
+	}
+	occ, err := fw.cfg.Occupancy(spec)
+	if err != nil {
+		return occInfo{}, err
+	}
+	smem, _ := fw.cfg.SharedMemConfigFor(spec.SharedMemPerTB)
+	info := occInfo{occ: occ, smem: smem}
+	fw.occ[spec] = info
+	return info, nil
+}
+
 // PendingContexts returns the ids of contexts whose command buffer holds a
 // command, in arrival order of the buffered command. The returned slice is
-// read-only.
-func (fw *Framework) PendingContexts() []int { return fw.pendingCtxs }
+// a copy (reused across calls): mutating it cannot corrupt the framework's
+// arrival order, and it is only valid until the next call.
+func (fw *Framework) PendingContexts() []int {
+	fw.ctxScratch = fw.ctxScratch[:0]
+	for _, cp := range fw.pendingCtxs {
+		fw.ctxScratch = append(fw.ctxScratch, cp.id)
+	}
+	return fw.ctxScratch
+}
 
 // PendingHead returns the command buffered for the given context, or nil.
 func (fw *Framework) PendingHead(ctxID int) *LaunchCmd {
-	q := fw.pending[ctxID]
-	if len(q) == 0 {
+	cp := fw.pendq[ctxID]
+	if cp == nil || cp.empty() {
 		return nil
 	}
-	return q[0]
+	return cp.headCmd()
 }
 
 // PendingDepth returns the number of commands queued behind (and including)
 // the context's command buffer.
-func (fw *Framework) PendingDepth(ctxID int) int { return len(fw.pending[ctxID]) }
+func (fw *Framework) PendingDepth(ctxID int) int {
+	cp := fw.pendq[ctxID]
+	if cp == nil {
+		return 0
+	}
+	return len(cp.cmds) - cp.head
+}
 
 func (fw *Framework) popPending(ctxID int) *LaunchCmd {
-	q := fw.pending[ctxID]
-	if len(q) == 0 {
+	cp := fw.pendq[ctxID]
+	if cp == nil || cp.empty() {
 		return nil
 	}
-	cmd := q[0]
-	fw.pending[ctxID] = q[1:]
-	// Remove the context from the arrival-order list, and re-append it if
-	// another command takes over the buffer (its arrival order is the new
-	// head's enqueue order, which is necessarily >= everything queued).
-	for i, id := range fw.pendingCtxs {
-		if id == ctxID {
-			fw.pendingCtxs = append(fw.pendingCtxs[:i], fw.pendingCtxs[i+1:]...)
-			break
-		}
-	}
-	if len(fw.pending[ctxID]) > 0 {
-		fw.insertPendingCtx(ctxID)
+	cmd := cp.headCmd()
+	cp.cmds[cp.head] = nil // release the reference for reuse
+	cp.head++
+	fw.removePendingAt(cp.pos)
+	cp.pos = -1
+	if !cp.empty() {
+		// Another command takes over the buffer; its arrival order is the
+		// new head's enqueue time.
+		fw.insertPendingCtx(cp)
 	} else {
-		delete(fw.pending, ctxID)
+		cp.cmds = cp.cmds[:0]
+		cp.head = 0
 	}
 	return cmd
 }
 
-// insertPendingCtx re-inserts ctxID into pendingCtxs keeping the list sorted
-// by head enqueue time (stable on ties by existing order).
-func (fw *Framework) insertPendingCtx(ctxID int) {
-	head := fw.pending[ctxID][0]
-	pos := len(fw.pendingCtxs)
-	for i, id := range fw.pendingCtxs {
-		if fw.pending[id][0].Enqueued > head.Enqueued {
-			pos = i
-			break
+// removePendingAt removes the entry at position pos from the arrival-order
+// list, keeping every entry's pos index current.
+func (fw *Framework) removePendingAt(pos int) {
+	list := fw.pendingCtxs
+	copy(list[pos:], list[pos+1:])
+	last := len(list) - 1
+	list[last] = nil
+	fw.pendingCtxs = list[:last]
+	for i := pos; i < last; i++ {
+		fw.pendingCtxs[i].pos = i
+	}
+}
+
+// insertPendingCtx re-inserts cp into pendingCtxs keeping the list sorted by
+// head enqueue time (stable on ties by existing order). The list is sorted,
+// so the position comes from a binary search instead of a linear scan.
+func (fw *Framework) insertPendingCtx(cp *ctxPending) {
+	enq := cp.headCmd().Enqueued
+	lo, hi := 0, len(fw.pendingCtxs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if fw.pendingCtxs[mid].headCmd().Enqueued > enq {
+			hi = mid
+		} else {
+			lo = mid + 1
 		}
 	}
-	fw.pendingCtxs = append(fw.pendingCtxs, 0)
-	copy(fw.pendingCtxs[pos+1:], fw.pendingCtxs[pos:])
-	fw.pendingCtxs[pos] = ctxID
+	fw.pendingCtxs = append(fw.pendingCtxs, nil)
+	copy(fw.pendingCtxs[lo+1:], fw.pendingCtxs[lo:])
+	fw.pendingCtxs[lo] = cp
+	for i := lo; i < len(fw.pendingCtxs); i++ {
+		fw.pendingCtxs[i].pos = i
+	}
 }
 
 // tryActivate moves pending commands into the active queue while there is
@@ -275,18 +367,18 @@ func (fw *Framework) allocKSR(cmd *LaunchCmd) *KSR {
 	if slot < 0 {
 		panic("core: active queue has space but KSRT is full")
 	}
-	occ, err := fw.cfg.Occupancy(cmd.Spec)
+	info, err := fw.occupancy(cmd.Spec)
 	if err != nil {
 		panic(fmt.Sprintf("core: occupancy validated at submit but failed at activation: %v", err))
 	}
-	smemCfg, _ := fw.cfg.SharedMemConfigFor(cmd.Spec.SharedMemPerTB)
 	fw.slots[slot].gen++
 	k := &KSR{
 		id:         KernelID{slot: slot, gen: fw.slots[slot].gen},
 		Cmd:        cmd,
-		TBsPerSM:   occ,
-		SmemConfig: smemCfg,
+		TBsPerSM:   info.occ,
+		SmemConfig: info.smem,
 		Activated:  fw.eng.Now(),
+		ctxBytes:   fw.cfg.TBContextBytes(cmd.Spec),
 	}
 	fw.slots[slot].k = k
 	fw.allocSaveArea(k)
@@ -301,7 +393,7 @@ func (fw *Framework) allocSaveArea(k *KSR) {
 		return
 	}
 	maxPreempted := int64(fw.cfg.NumSMs) * int64(k.TBsPerSM)
-	size := maxPreempted * fw.cfg.TBContextBytes(k.Spec())
+	size := maxPreempted * k.ctxBytes
 	if size <= 0 {
 		return
 	}
@@ -325,7 +417,7 @@ func (fw *Framework) freeSaveArea(k *KSR) {
 		return
 	}
 	maxPreempted := int64(fw.cfg.NumSMs) * int64(k.TBsPerSM)
-	size := maxPreempted * fw.cfg.TBContextBytes(k.Spec())
+	size := maxPreempted * k.ctxBytes
 	npages := int((size + mmu.PageSize - 1) / mmu.PageSize)
 	k.Ctx().PageTable.Unmap(k.saveVA, npages) //nolint:errcheck // mapped at alloc
 	fw.mem.Free(k.savePA)                     //nolint:errcheck // allocated at alloc
@@ -446,7 +538,24 @@ func (fw *Framework) AssignSM(smID int, kid KernelID) {
 	fw.timeline.transition(smID, fw.eng.Now(), IntervalSetup, k.Spec().Name, k.Cmd.Launch, k.Ctx().ID)
 	setup := fw.cfg.SMSetupLatency
 	fw.stats.SetupTime += setup
-	fw.eng.After(setup, func() { fw.setupDone(s, kid) })
+	fw.eng.AfterFunc(setup, setupDoneEvent, s, packKernelID(kid))
+}
+
+// packKernelID flattens a (valid) handle into the scalar argument of the
+// engine's closure-free dispatch; unpackKernelID restores it losslessly.
+func packKernelID(id KernelID) int64 {
+	return int64(id.slot)<<32 | int64(id.gen)
+}
+
+func unpackKernelID(x int64) KernelID {
+	return KernelID{slot: int(x >> 32), gen: uint32(x)}
+}
+
+// setupDoneEvent is the closure-free completion callback of the SM-setup
+// latency event.
+func setupDoneEvent(p any, x int64) {
+	s := p.(*sm)
+	s.fw.setupDone(s, unpackKernelID(x))
 }
 
 // setupDone completes SM setup and starts issuing thread blocks.
@@ -508,11 +617,11 @@ func (fw *Framework) issueTB(s *sm, k *KSR) {
 	if len(k.ptbq) > 0 {
 		h := k.ptbq[0]
 		k.ptbq = k.ptbq[1:]
-		restore := fw.cfg.ContextMoveTime(fw.cfg.TBContextBytes(k.Spec()))
+		restore := fw.cfg.ContextMoveTime(k.ctxBytes)
 		fw.touchSaveArea(s, k, h.Index)
 		tb = residentTB{index: h.Index, restored: true, start: now, end: now + restore + h.Remaining}
 		fw.stats.TBsRestored++
-		fw.stats.ContextRestored += fw.cfg.TBContextBytes(k.Spec())
+		fw.stats.ContextRestored += k.ctxBytes
 	} else {
 		idx := k.NextTB
 		k.NextTB++
@@ -520,9 +629,15 @@ func (fw *Framework) issueTB(s *sm, k *KSR) {
 	}
 	k.Running++
 	fw.stats.TBsIssued++
-	index := tb.index
-	tb.ev = fw.eng.At(tb.end, func() { fw.completeTB(s, index) })
+	tb.ev = fw.eng.AtFunc(tb.end, completeTBEvent, s, int64(tb.index))
 	s.resident = append(s.resident, tb)
+}
+
+// completeTBEvent is the closure-free completion callback of a thread
+// block's execution event.
+func completeTBEvent(p any, x int64) {
+	s := p.(*sm)
+	s.fw.completeTB(s, int(x))
 }
 
 // tbDuration returns the jittered execution time of thread block idx of
@@ -544,7 +659,7 @@ func (fw *Framework) touchSaveArea(s *sm, k *KSR, tbIndex int) {
 	if k.saveVA == 0 {
 		return
 	}
-	bytes := fw.cfg.TBContextBytes(k.Spec())
+	bytes := k.ctxBytes
 	slotBase := k.saveVA + mmu.VAddr(int64(tbIndex%(fw.cfg.NumSMs*k.TBsPerSM))*bytes)
 	// Touch the first byte of each page of the thread block's slot.
 	for off := int64(0); off < bytes; off += mmu.PageSize {
@@ -706,28 +821,37 @@ func (fw *Framework) RetargetSM(smID int, kid KernelID) {
 
 // CancelResident stops every resident thread block of a reserved SM and
 // returns their preemption handles (index and remaining execution time).
-// Used by the context-switch mechanism at the freeze point.
+// Used by the context-switch mechanism at the freeze point. The returned
+// slice is a per-SM buffer reused by the next CancelResident on the same SM
+// — which cannot happen before the current preemption completes, since the
+// SM stays reserved until PreemptionDone.
 func (fw *Framework) CancelResident(smID int) []PreemptedTB {
 	s := fw.sms[smID]
 	k := fw.Kernel(s.ksr)
 	now := fw.eng.Now()
-	out := make([]PreemptedTB, 0, len(s.resident))
+	s.saveBuf = s.saveBuf[:0]
 	for i := range s.resident {
 		tb := &s.resident[i]
-		tb.ev.Cancel()
+		fw.eng.Cancel(tb.ev)
 		rem := tb.end - now
 		if rem < 0 {
 			rem = 0
 		}
-		out = append(out, PreemptedTB{Index: tb.index, Remaining: rem})
+		s.saveBuf = append(s.saveBuf, PreemptedTB{Index: tb.index, Remaining: rem})
 		if k != nil {
 			k.Running--
 		}
 		fw.stats.TBsPreempted++
 	}
 	s.resident = s.resident[:0]
-	return out
+	return s.saveBuf
 }
+
+// CanceledTBs returns the handles captured by the most recent CancelResident
+// on the SM (the same per-SM buffer it returned). It lets a mechanism's
+// closure-free save-completion callback recover the preempted thread blocks
+// without capturing the slice.
+func (fw *Framework) CanceledTBs(smID int) []PreemptedTB { return fw.sms[smID].saveBuf }
 
 // PushPreempted appends preempted thread-block handles to the kernel's
 // PTBQ. The framework issues PTBQ entries before fresh thread blocks, which
@@ -756,7 +880,7 @@ func (fw *Framework) SaveContext(smID int, kid KernelID, tbs []PreemptedTB) sim.
 		return 0
 	}
 	s := fw.sms[smID]
-	bytes := fw.cfg.TBContextBytes(k.Spec()) * int64(len(tbs))
+	bytes := k.ctxBytes * int64(len(tbs))
 	for _, tb := range tbs {
 		fw.touchSaveArea(s, k, tb.Index)
 	}
@@ -835,7 +959,7 @@ func (fw *Framework) PreemptionDone(smID int) {
 	fw.timeline.transition(s.id, fw.eng.Now(), IntervalSetup, next.Spec().Name, next.Cmd.Launch, next.Ctx().ID)
 	setup := fw.cfg.SMSetupLatency
 	fw.stats.SetupTime += setup
-	fw.eng.After(setup, func() { fw.setupDone(s, kid) })
+	fw.eng.AfterFunc(setup, setupDoneEvent, s, packKernelID(kid))
 }
 
 // timelineStart returns the start of the SM's open timeline interval, or

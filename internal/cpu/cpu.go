@@ -53,6 +53,12 @@ type Model struct {
 	cfg   Config
 	busy  int
 	queue []pending
+	qhead int // index of the oldest waiting phase; the queue is trimmed lazily
+
+	// phases pools the in-flight phase records so completion events carry a
+	// pool index instead of a captured closure.
+	phases    []phaseSlot
+	freeSlots []int32
 
 	// Stats
 	Dispatched uint64
@@ -62,6 +68,10 @@ type Model struct {
 
 type pending struct {
 	dur  sim.Time
+	done func()
+}
+
+type phaseSlot struct {
 	done func()
 }
 
@@ -80,7 +90,7 @@ func (m *Model) Config() Config { return m.cfg }
 func (m *Model) Busy() int { return m.busy }
 
 // QueueLen returns the number of waiting phases.
-func (m *Model) QueueLen() int { return len(m.queue) }
+func (m *Model) QueueLen() int { return len(m.queue) - m.qhead }
 
 // Exec runs a CPU phase of the given duration, invoking done when it
 // completes. Zero-duration phases complete via a zero-delay event to keep
@@ -108,17 +118,39 @@ func (m *Model) dispatch(dur sim.Time, done func()) {
 		effective = sim.Time(float64(dur) * m.cfg.SMTSlowdown)
 	}
 	m.BusyTime += effective
-	m.eng.After(effective, func() {
-		m.busy--
-		done()
-		m.drain()
-	})
+	var idx int32
+	if n := len(m.freeSlots); n > 0 {
+		idx = m.freeSlots[n-1]
+		m.freeSlots = m.freeSlots[:n-1]
+	} else {
+		m.phases = append(m.phases, phaseSlot{})
+		idx = int32(len(m.phases) - 1)
+	}
+	m.phases[idx].done = done
+	m.eng.AfterFunc(effective, phaseDone, m, int64(idx))
+}
+
+// phaseDone is the closure-free completion callback of one CPU phase; the
+// scalar argument indexes the pooled phase record holding its continuation.
+func phaseDone(p any, x int64) {
+	m := p.(*Model)
+	done := m.phases[x].done
+	m.phases[x].done = nil
+	m.freeSlots = append(m.freeSlots, int32(x))
+	m.busy--
+	done()
+	m.drain()
 }
 
 func (m *Model) drain() {
-	for len(m.queue) > 0 && m.busy < m.cfg.Cores*m.cfg.ThreadsPerCore {
-		next := m.queue[0]
-		m.queue = m.queue[1:]
+	for m.qhead < len(m.queue) && m.busy < m.cfg.Cores*m.cfg.ThreadsPerCore {
+		next := m.queue[m.qhead]
+		m.queue[m.qhead] = pending{}
+		m.qhead++
+		if m.qhead == len(m.queue) {
+			m.queue = m.queue[:0]
+			m.qhead = 0
+		}
 		m.dispatch(next.dur, next.done)
 	}
 }

@@ -30,23 +30,55 @@ const (
 
 // PageTable is a two-level per-context page table. Its "root" stands in for
 // the physical location named by the base page table register of §3.1.
+// Level-2 tables are dense arrays with a presence bitmap — like the real
+// structure, and unlike a hash map it makes the per-activation save-area
+// map/unmap traffic a handful of array stores with no allocation.
 type PageTable struct {
 	ASID int // address-space identifier (the GPU context id)
-	root map[uint64]*ptLevel2
+	root []*ptLevel2
 	next VAddr // simple growing virtual address space
 }
 
+const l2Entries = 1 << level2Bits
+
 type ptLevel2 struct {
-	entries map[uint64]gmem.PAddr
+	entries [l2Entries]gmem.PAddr
+	present [l2Entries / 64]uint64
+	count   int
 }
+
+func (t *ptLevel2) has(l2 uint64) bool { return t.present[l2>>6]&(1<<(l2&63)) != 0 }
+func (t *ptLevel2) set(l2 uint64)      { t.present[l2>>6] |= 1 << (l2 & 63) }
+func (t *ptLevel2) clear(l2 uint64)    { t.present[l2>>6] &^= 1 << (l2 & 63) }
 
 // NewPageTable returns an empty page table for the given address space.
 func NewPageTable(asid int) *PageTable {
 	return &PageTable{
 		ASID: asid,
-		root: make(map[uint64]*ptLevel2),
 		next: PageSize, // keep page 0 unmapped to catch null derefs
 	}
+}
+
+// level2 returns the level-2 table for an L1 index, growing the root and
+// creating the table as needed.
+func (pt *PageTable) level2(l1 uint64) *ptLevel2 {
+	for uint64(len(pt.root)) <= l1 {
+		pt.root = append(pt.root, nil)
+	}
+	tbl := pt.root[l1]
+	if tbl == nil {
+		tbl = &ptLevel2{}
+		pt.root[l1] = tbl
+	}
+	return tbl
+}
+
+// lookup returns the level-2 table for an L1 index, or nil.
+func (pt *PageTable) lookup(l1 uint64) *ptLevel2 {
+	if l1 >= uint64(len(pt.root)) {
+		return nil
+	}
+	return pt.root[l1]
 }
 
 // Map installs translations for npages pages starting at va -> pa.
@@ -57,16 +89,14 @@ func (pt *PageTable) Map(va VAddr, pa gmem.PAddr, npages int) error {
 	for i := 0; i < npages; i++ {
 		v := va + VAddr(i*PageSize)
 		l1 := uint64(v) >> (pageShift + level2Bits)
-		l2 := (uint64(v) >> pageShift) & ((1 << level2Bits) - 1)
-		tbl := pt.root[l1]
-		if tbl == nil {
-			tbl = &ptLevel2{entries: make(map[uint64]gmem.PAddr)}
-			pt.root[l1] = tbl
-		}
-		if _, dup := tbl.entries[l2]; dup {
+		l2 := (uint64(v) >> pageShift) & (l2Entries - 1)
+		tbl := pt.level2(l1)
+		if tbl.has(l2) {
 			return fmt.Errorf("mmu: double map of va %#x in asid %d", uint64(v), pt.ASID)
 		}
 		tbl.entries[l2] = pa + gmem.PAddr(i*PageSize)
+		tbl.set(l2)
+		tbl.count++
 	}
 	return nil
 }
@@ -76,17 +106,15 @@ func (pt *PageTable) Unmap(va VAddr, npages int) error {
 	for i := 0; i < npages; i++ {
 		v := va + VAddr(i*PageSize)
 		l1 := uint64(v) >> (pageShift + level2Bits)
-		l2 := (uint64(v) >> pageShift) & ((1 << level2Bits) - 1)
-		tbl := pt.root[l1]
-		if tbl == nil {
+		l2 := (uint64(v) >> pageShift) & (l2Entries - 1)
+		tbl := pt.lookup(l1)
+		if tbl == nil || !tbl.has(l2) {
 			return fmt.Errorf("mmu: unmap of unmapped va %#x in asid %d", uint64(v), pt.ASID)
 		}
-		if _, ok := tbl.entries[l2]; !ok {
-			return fmt.Errorf("mmu: unmap of unmapped va %#x in asid %d", uint64(v), pt.ASID)
-		}
-		delete(tbl.entries, l2)
-		if len(tbl.entries) == 0 {
-			delete(pt.root, l1)
+		tbl.clear(l2)
+		tbl.count--
+		if tbl.count == 0 {
+			pt.root[l1] = nil
 		}
 	}
 	return nil
@@ -96,23 +124,24 @@ func (pt *PageTable) Unmap(va VAddr, npages int) error {
 // address for va, or an error on a page fault.
 func (pt *PageTable) Translate(va VAddr) (gmem.PAddr, error) {
 	l1 := uint64(va) >> (pageShift + level2Bits)
-	l2 := (uint64(va) >> pageShift) & ((1 << level2Bits) - 1)
-	tbl := pt.root[l1]
+	l2 := (uint64(va) >> pageShift) & (l2Entries - 1)
+	tbl := pt.lookup(l1)
 	if tbl == nil {
 		return 0, fmt.Errorf("mmu: page fault at va %#x in asid %d (no L1 entry)", uint64(va), pt.ASID)
 	}
-	pa, ok := tbl.entries[l2]
-	if !ok {
+	if !tbl.has(l2) {
 		return 0, fmt.Errorf("mmu: page fault at va %#x in asid %d (no L2 entry)", uint64(va), pt.ASID)
 	}
-	return pa + gmem.PAddr(uint64(va)&(PageSize-1)), nil
+	return tbl.entries[l2] + gmem.PAddr(uint64(va)&(PageSize-1)), nil
 }
 
 // Mapped returns the number of mapped pages.
 func (pt *PageTable) Mapped() int {
 	n := 0
 	for _, tbl := range pt.root {
-		n += len(tbl.entries)
+		if tbl != nil {
+			n += tbl.count
+		}
 	}
 	return n
 }
@@ -134,7 +163,7 @@ func (pt *PageTable) AllocRegion(pa gmem.PAddr, size int64) (VAddr, error) {
 // the PageTable passed to Lookup).
 type TLB struct {
 	capacity int
-	entries  map[tlbKey]*tlbEntry
+	entries  map[tlbKey]tlbEntry
 	clock    uint64
 
 	Hits   uint64
@@ -157,7 +186,7 @@ func NewTLB(capacity int) *TLB {
 	if capacity <= 0 {
 		panic("mmu: non-positive TLB capacity")
 	}
-	return &TLB{capacity: capacity, entries: make(map[tlbKey]*tlbEntry)}
+	return &TLB{capacity: capacity, entries: make(map[tlbKey]tlbEntry, capacity)}
 }
 
 // Lookup translates va through the TLB, walking pt on a miss.
@@ -167,6 +196,7 @@ func (t *TLB) Lookup(pt *PageTable, va VAddr) (gmem.PAddr, error) {
 	if e, ok := t.entries[key]; ok {
 		t.Hits++
 		e.used = t.clock
+		t.entries[key] = e
 		return e.pa + gmem.PAddr(uint64(va)&(PageSize-1)), nil
 	}
 	t.Misses++
@@ -179,7 +209,7 @@ func (t *TLB) Lookup(pt *PageTable, va VAddr) (gmem.PAddr, error) {
 	if len(t.entries) >= t.capacity {
 		t.evict()
 	}
-	t.entries[key] = &tlbEntry{pa: base, used: t.clock}
+	t.entries[key] = tlbEntry{pa: base, used: t.clock}
 	return pa, nil
 }
 
@@ -193,9 +223,10 @@ func (t *TLB) FlushASID(asid int) {
 	}
 }
 
-// Flush empties the TLB.
+// Flush empties the TLB. The map is cleared, not reallocated: installing a
+// different context on an SM is frequent in multiprogrammed runs.
 func (t *TLB) Flush() {
-	t.entries = make(map[tlbKey]*tlbEntry)
+	clear(t.entries)
 }
 
 // Len returns the number of resident entries.

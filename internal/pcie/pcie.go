@@ -137,12 +137,13 @@ type Stats struct {
 
 // Engine is the data-transfer engine.
 type Engine struct {
-	eng    *sim.Engine
-	cfg    Config
-	policy QueuePolicy
-	queue  []*Command
-	busy   bool
-	stats  Stats
+	eng     *sim.Engine
+	cfg     Config
+	policy  QueuePolicy
+	queue   []*Command
+	busy    bool
+	running *Command // the in-flight transfer (engine runs one at a time)
+	stats   Stats
 }
 
 // NewEngine returns a transfer engine using the given queueing policy.
@@ -193,19 +194,29 @@ func (e *Engine) dispatch() {
 		panic(fmt.Sprintf("pcie: policy %s returned index %d for queue of %d", e.policy.Name(), idx, len(e.queue)))
 	}
 	cmd := e.queue[idx]
-	e.queue = append(e.queue[:idx], e.queue[idx+1:]...)
+	copy(e.queue[idx:], e.queue[idx+1:])
+	e.queue[len(e.queue)-1] = nil
+	e.queue = e.queue[:len(e.queue)-1]
 	e.busy = true
+	e.running = cmd
 	dur := e.cfg.TransferTime(cmd.Bytes)
 	e.stats.Transfers++
 	e.stats.Bytes += cmd.Bytes
 	e.stats.BusyTime += dur
 	e.stats.WaitedTime += e.eng.Now() - cmd.Enqueued
-	e.eng.After(dur, func() {
-		e.busy = false
-		done := cmd.OnDone
-		if done != nil {
-			done(e.eng.Now())
-		}
-		e.dispatch()
-	})
+	e.eng.AfterFunc(dur, transferDone, e, 0)
+}
+
+// transferDone is the closure-free completion callback of the in-flight
+// transfer: exactly one command runs at a time, so the engine itself carries
+// the argument.
+func transferDone(p any, _ int64) {
+	e := p.(*Engine)
+	cmd := e.running
+	e.running = nil
+	e.busy = false
+	if cmd.OnDone != nil {
+		cmd.OnDone(e.eng.Now())
+	}
+	e.dispatch()
 }

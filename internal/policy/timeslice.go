@@ -18,6 +18,7 @@ type TimeSlice struct {
 	order      []core.KernelID // round-robin order of active kernels
 	cur        int             // index into order of the current owner
 	timerArmed bool
+	fw         *core.Framework // stashed for the closure-free quantum timer
 }
 
 // NewTimeSlice returns a time-multiplexing policy with the given quantum.
@@ -82,7 +83,14 @@ func (p *TimeSlice) armTimer(fw *core.Framework) {
 		return
 	}
 	p.timerArmed = true
-	fw.Engine().After(p.Quantum, func() { p.tick(fw) })
+	p.fw = fw
+	fw.Engine().AfterFunc(p.Quantum, timeSliceTick, p, 0)
+}
+
+// timeSliceTick is the closure-free quantum-timer callback.
+func timeSliceTick(q any, _ int64) {
+	p := q.(*TimeSlice)
+	p.tick(p.fw)
 }
 
 // tick rotates ownership: every SM running a kernel other than the new

@@ -51,22 +51,34 @@ func (ContextSwitch) Preempt(fw *core.Framework, smID int) {
 	// Preemption raises an asynchronous trap; the simplest way to provide
 	// the precise exception it needs is to drain the pipeline of in-flight
 	// instructions before jumping to the trap routine (§3.2).
+	fw.Engine().AfterFunc(fw.Config().PipelineDrainLatency, csFreeze, fw, int64(smID))
+}
+
+// csFreeze is the freeze point at the end of the pipeline drain: stop all
+// resident thread blocks (thread blocks that completed during the drain
+// finished normally) and start the context save. It is a top-level function
+// so the drain event captures no closure; the SM stays reserved throughout,
+// so the preempted kernel is recoverable as SMKernel and the cancelled
+// thread blocks as CanceledTBs.
+func csFreeze(p any, x int64) {
+	fw, smID := p.(*core.Framework), int(x)
 	kid := fw.SMKernel(smID)
-	fw.Engine().After(fw.Config().PipelineDrainLatency, func() {
-		// Freeze point: stop all resident thread blocks. Thread blocks that
-		// completed during the pipeline drain finished normally.
-		tbs := fw.CancelResident(smID)
-		if len(tbs) == 0 {
-			fw.PreemptionDone(smID)
-			return
-		}
-		dur := fw.SaveContext(smID, kid, tbs)
-		fw.MarkSaving(smID, dur)
-		fw.Engine().After(dur, func() {
-			fw.PushPreempted(kid, tbs)
-			fw.PreemptionDone(smID)
-		})
-	})
+	tbs := fw.CancelResident(smID)
+	if len(tbs) == 0 {
+		fw.PreemptionDone(smID)
+		return
+	}
+	dur := fw.SaveContext(smID, kid, tbs)
+	fw.MarkSaving(smID, dur)
+	fw.Engine().AfterFunc(dur, csSaveDone, fw, int64(smID))
+}
+
+// csSaveDone completes the context save: the saved thread blocks enter the
+// kernel's PTBQ and the SM is handed over.
+func csSaveDone(p any, x int64) {
+	fw, smID := p.(*core.Framework), int(x)
+	fw.PushPreempted(fw.SMKernel(smID), fw.CanceledTBs(smID))
+	fw.PreemptionDone(smID)
 }
 
 // OnTBFinished implements core.Mechanism. Thread blocks that complete while

@@ -56,11 +56,21 @@ type Process struct {
 	runStart    sim.Time
 	runs        []RunRecord
 	started     bool
+
+	// Continuations allocated once per process: the replay loop schedules
+	// them thousands of times, so per-event closures would dominate the
+	// allocation profile.
+	cpuPhaseDone   func() // end of a trace CPU phase: advance and continue
+	issuePhaseDone func() // end of a command-issue micro-phase: continue
+	beginRun       func() // start of a (re)run: stamp runStart and step
 }
 
 type stream struct {
-	queue []queuedCmd
-	busy  bool
+	p      *Process
+	queue  []queuedCmd
+	head   int // index of the stream's oldest queued command
+	busy   bool
+	onDone func(at sim.Time) // the stream's completion continuation, allocated once
 }
 
 type queuedCmd struct {
@@ -77,12 +87,31 @@ func New(sys *system.System, app *trace.App, priority int) (*Process, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Process{
+	return newProcess(sys, ctx, app), nil
+}
+
+// newProcess wires up a process and its reusable continuations.
+func newProcess(sys *system.System, ctx *gpu.Context, app *trace.App) *Process {
+	p := &Process{
 		sys:     sys,
 		ctx:     ctx,
 		app:     app,
 		streams: make(map[int]*stream),
-	}, nil
+	}
+	p.cpuPhaseDone = func() {
+		p.inCPUPhase = false
+		p.opIdx++
+		p.step()
+	}
+	p.issuePhaseDone = func() {
+		p.inCPUPhase = false
+		p.step()
+	}
+	p.beginRun = func() {
+		p.runStart = p.sys.Eng.Now()
+		p.step()
+	}
+	return p
 }
 
 // NewWithContext creates a process that runs inside an existing GPU context.
@@ -99,12 +128,7 @@ func NewWithContext(sys *system.System, ctx *gpu.Context, app *trace.App) (*Proc
 	if ctx == nil {
 		return nil, fmt.Errorf("proc: nil context")
 	}
-	return &Process{
-		sys:     sys,
-		ctx:     ctx,
-		app:     app,
-		streams: make(map[int]*stream),
-	}, nil
+	return newProcess(sys, ctx, app), nil
 }
 
 // Ctx returns the process's GPU context.
@@ -137,10 +161,7 @@ func (p *Process) Start(at sim.Time) error {
 		return fmt.Errorf("proc: process %s already started", p.app.Name)
 	}
 	p.started = true
-	p.sys.Eng.At(at, func() {
-		p.runStart = p.sys.Eng.Now()
-		p.step()
-	})
+	p.sys.Eng.At(at, p.beginRun)
 	return nil
 }
 
@@ -153,11 +174,7 @@ func (p *Process) step() {
 		case trace.OpCPU:
 			if !p.inCPUPhase {
 				p.inCPUPhase = true
-				p.sys.CPU.Exec(op.Dur, func() {
-					p.inCPUPhase = false
-					p.opIdx++
-					p.step()
-				})
+				p.sys.CPU.Exec(op.Dur, p.cpuPhaseDone)
 				return
 			}
 			panic("proc: re-entered CPU phase")
@@ -176,10 +193,7 @@ func (p *Process) step() {
 			// IssueOverhead once per command via a CPU micro-phase.
 			if IssueOverhead > 0 {
 				p.inCPUPhase = true
-				p.sys.CPU.Exec(IssueOverhead, func() {
-					p.inCPUPhase = false
-					p.step()
-				})
+				p.sys.CPU.Exec(IssueOverhead, p.issuePhaseDone)
 				return
 			}
 		default:
@@ -204,11 +218,7 @@ func (p *Process) finishRun() {
 		return
 	}
 	p.opIdx = 0
-	gap := p.RestartGap
-	p.sys.Eng.After(gap, func() {
-		p.runStart = p.sys.Eng.Now()
-		p.step()
-	})
+	p.sys.Eng.After(p.RestartGap, p.beginRun)
 }
 
 // enqueue places a command in its stream; if the stream has no outstanding
@@ -216,7 +226,8 @@ func (p *Process) finishRun() {
 func (p *Process) enqueue(op trace.Op) {
 	st := p.streams[op.Stream]
 	if st == nil {
-		st = &stream{}
+		st = &stream{p: p}
+		st.onDone = st.complete
 		p.streams[op.Stream] = st
 	}
 	p.outstanding++
@@ -224,21 +235,31 @@ func (p *Process) enqueue(op trace.Op) {
 	p.dispatch(st)
 }
 
+// complete is the stream's command-completion continuation (allocated once
+// per stream as st.onDone, not once per command).
+func (st *stream) complete(at sim.Time) {
+	p := st.p
+	st.queue[st.head] = queuedCmd{}
+	st.head++
+	if st.head == len(st.queue) {
+		st.queue = st.queue[:0]
+		st.head = 0
+	}
+	st.busy = false
+	p.outstanding--
+	p.dispatch(st)
+	p.commandCompleted()
+}
+
 // dispatch issues the stream's head command if the stream is not already
 // waiting on one (the dispatcher stops inspecting a queue after issuing).
 func (p *Process) dispatch(st *stream) {
-	if st.busy || len(st.queue) == 0 {
+	if st.busy || st.head == len(st.queue) {
 		return
 	}
 	st.busy = true
-	cmd := st.queue[0]
-	onDone := func(at sim.Time) {
-		st.queue = st.queue[1:]
-		st.busy = false
-		p.outstanding--
-		p.dispatch(st)
-		p.commandCompleted()
-	}
+	cmd := st.queue[st.head]
+	onDone := st.onDone
 	switch cmd.op.Kind {
 	case trace.OpLaunch:
 		spec := &p.app.Kernels[cmd.op.Kernel]

@@ -95,6 +95,25 @@ func TestEngineAfterSchedulesRelative(t *testing.T) {
 	}
 }
 
+func TestEngineTypedDispatch(t *testing.T) {
+	e := NewEngine()
+	type box struct{ got []int64 }
+	b := &box{}
+	fn := func(p any, x int64) { p.(*box).got = append(p.(*box).got, x) }
+	e.AtFunc(20, fn, b, 2)
+	e.AtFunc(10, fn, b, 1)
+	id := e.AfterFunc(30, fn, b, 3)
+	if !id.Valid() {
+		t.Fatal("AfterFunc returned invalid handle")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.got) != 3 || b.got[0] != 1 || b.got[1] != 2 || b.got[2] != 3 {
+		t.Fatalf("typed dispatch order = %v, want [1 2 3]", b.got)
+	}
+}
+
 func TestEngineSchedulingInPastPanics(t *testing.T) {
 	e := NewEngine()
 	e.At(100, func() {})
@@ -127,17 +146,28 @@ func TestEngineNilCallbackPanics(t *testing.T) {
 	e.At(1, nil)
 }
 
+func TestEngineNilTypedCallbackPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil typed callback did not panic")
+		}
+	}()
+	e.AtFunc(1, nil, nil, 0)
+}
+
 func TestEventCancel(t *testing.T) {
 	e := NewEngine()
 	fired := false
 	ev := e.At(10, func() { fired = true })
-	if !ev.Cancel() {
+	e.At(20, func() {}) // keeps the heap >50% live so ev is not compacted away
+	if !e.Cancel(ev) {
 		t.Fatal("Cancel returned false on pending event")
 	}
-	if ev.Cancel() {
+	if e.Cancel(ev) {
 		t.Fatal("second Cancel returned true")
 	}
-	if !ev.Canceled() {
+	if !e.Canceled(ev) {
 		t.Fatal("Canceled() = false after cancel")
 	}
 	e.Run()
@@ -150,18 +180,60 @@ func TestEventCancelAfterFiring(t *testing.T) {
 	e := NewEngine()
 	ev := e.At(10, func() {})
 	e.Run()
-	if ev.Cancel() {
+	if e.Cancel(ev) {
 		t.Fatal("Cancel returned true after the event fired")
+	}
+	if e.Canceled(ev) {
+		t.Fatal("Canceled returned true for a fired event")
 	}
 }
 
-func TestCancelNilEvent(t *testing.T) {
-	var ev *Event
-	if ev.Cancel() {
-		t.Fatal("nil event Cancel returned true")
+func TestCancelZeroEventID(t *testing.T) {
+	e := NewEngine()
+	var ev EventID
+	if ev.Valid() {
+		t.Fatal("zero EventID is valid")
 	}
-	if ev.Canceled() {
-		t.Fatal("nil event Canceled returned true")
+	if e.Cancel(ev) {
+		t.Fatal("zero EventID Cancel returned true")
+	}
+	if e.Canceled(ev) {
+		t.Fatal("zero EventID Canceled returned true")
+	}
+	if _, ok := e.When(ev); ok {
+		t.Fatal("zero EventID When returned ok")
+	}
+}
+
+// A handle must go stale when its pooled record is reused: canceling it then
+// must not touch the slot's new occupant.
+func TestStaleHandleAfterRecordReuse(t *testing.T) {
+	e := NewEngine()
+	first := e.At(10, func() {})
+	e.Run() // fires, releasing the record to the pool
+	fired := false
+	second := e.At(20, func() { fired = true }) // reuses the slot
+	if e.Cancel(first) {
+		t.Fatal("stale handle cancelled the slot's new occupant")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("second event did not fire")
+	}
+	if e.Cancel(second) {
+		t.Fatal("Cancel returned true after second event fired")
+	}
+}
+
+func TestWhenReportsScheduledTime(t *testing.T) {
+	e := NewEngine()
+	ev := e.At(42, func() {})
+	if at, ok := e.When(ev); !ok || at != 42 {
+		t.Fatalf("When = %v,%v, want 42,true", at, ok)
+	}
+	e.Run()
+	if _, ok := e.When(ev); ok {
+		t.Fatal("When returned ok for a fired event")
 	}
 }
 
@@ -227,13 +299,60 @@ func TestEnginePendingCountsCanceled(t *testing.T) {
 	e := NewEngine()
 	ev := e.At(10, func() {})
 	e.At(20, func() {})
-	ev.Cancel()
+	e.Cancel(ev)
 	if e.Pending() != 2 {
 		t.Errorf("Pending = %d, want 2 (lazy cancellation)", e.Pending())
 	}
 	e.Run()
 	if e.Pending() != 0 {
 		t.Errorf("Pending = %d after Run, want 0", e.Pending())
+	}
+}
+
+// When cancelled entries outnumber live ones the heap compacts in bulk,
+// reclaiming the records without waiting for them to surface.
+func TestEngineCompactsWhenMostlyCanceled(t *testing.T) {
+	e := NewEngine()
+	var ids []EventID
+	for i := 0; i < 100; i++ {
+		ids = append(ids, e.At(Time(i+1), func() {}))
+	}
+	for i := 0; i < 60; i++ {
+		if !e.Cancel(ids[i]) {
+			t.Fatalf("Cancel(%d) failed", i)
+		}
+	}
+	// Compaction fires as soon as cancelled entries outnumber live ones (at
+	// the 51st cancel here), so well under the 100 scheduled remain queued.
+	if e.Pending() >= 60 {
+		t.Errorf("Pending = %d after bulk cancel, want a compacted heap", e.Pending())
+	}
+	fired := 0
+	for e.Step() {
+		fired++
+	}
+	if fired != 40 {
+		t.Errorf("fired %d events, want the 40 live ones", fired)
+	}
+}
+
+// The steady-state scheduling path must not allocate: records and heap
+// slots are pooled and reused.
+func TestEngineScheduleIsAllocationFree(t *testing.T) {
+	e := NewEngine()
+	tick := func(p any, x int64) {}
+	// Warm up the pool and the heap's backing array.
+	for i := 0; i < 64; i++ {
+		e.AtFunc(e.Now()+1, tick, e, 0)
+	}
+	for e.Step() {
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		e.AtFunc(e.Now()+1, tick, e, 0)
+		e.Step()
+	})
+	if avg != 0 {
+		t.Errorf("schedule+fire allocates %v times per op, want 0", avg)
 	}
 }
 
