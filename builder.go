@@ -39,6 +39,10 @@ type KernelConfig struct {
 	SharedMemPerTB int
 	// ThreadsPerTB is threads per thread block. Default 256.
 	ThreadsPerTB int
+	// Idempotent marks a kernel whose thread blocks can be cancelled and
+	// re-executed from scratch (no atomics or other order-dependent global
+	// updates), making it eligible for the flush preemption mechanism.
+	Idempotent bool
 }
 
 // Kernel registers a kernel with the application.
@@ -62,6 +66,7 @@ func (b *AppBuilder) Kernel(cfg KernelConfig) *AppBuilder {
 		SharedMemPerTB: cfg.SharedMemPerTB,
 		ThreadsPerTB:   cfg.ThreadsPerTB,
 		Launches:       0,
+		Idempotent:     cfg.Idempotent,
 	})
 	return b
 }

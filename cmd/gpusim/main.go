@@ -26,7 +26,7 @@ func main() {
 	var (
 		appsFlag = flag.String("apps", "spmv,sgemm", "comma-separated benchmark names (see -list)")
 		policy   = flag.String("policy", "fcfs", "scheduling policy: fcfs|npq|ppq|ppq-shared|dss|timeslice")
-		mech     = flag.String("mech", "", "preemption mechanism: context-switch|drain|none (default per policy)")
+		mech     = flag.String("mech", "", "preemption mechanism: context-switch|drain|flush|adaptive|none (default per policy)")
 		hp       = flag.Int("hp", -1, "index of the high-priority application (-1 = none)")
 		runs     = flag.Int("runs", 3, "completed runs required per application")
 		seed     = flag.Uint64("seed", 1, "random seed")
@@ -103,8 +103,8 @@ func main() {
 	}
 
 	fmt.Printf("policy=%s mechanism=%s apps=%d seed=%d\n", *policy, orDefault(*mech, "auto"), len(apps), *seed)
-	fmt.Printf("simulated time: %v   completed: %v   utilization: %.1f%%   preemptions: %d   ctx saved: %s\n\n",
-		res.EndTime, res.Completed, res.Utilization*100, res.Preemptions, bytesHuman(res.ContextSavedBytes))
+	fmt.Printf("simulated time: %v   completed: %v   utilization: %.1f%%   preemptions: %d   ctx saved: %s   wasted: %v\n\n",
+		res.EndTime, res.Completed, res.Utilization*100, res.Preemptions, bytesHuman(res.ContextSavedBytes), res.WastedWork)
 	fmt.Printf("%-14s %5s  %14s  %14s  %8s  %s\n", "app", "runs", "turnaround", "isolated", "NTT", "flags")
 	for _, a := range res.Apps {
 		flags := ""

@@ -86,8 +86,12 @@ func describe(app *trace.App, cfg *gpu.Config) {
 			occStr = fmt.Sprintf("%d", occ)
 		}
 		save, _ := cfg.SaveTime(k)
-		fmt.Printf("  kernel %-18s launches=%-4d TBs=%-7d tb=%-10v regs/TB=%-6d smem/TB=%-6d TBs/SM=%-3s save=%v\n",
-			k.Name, counts[i], k.NumTBs, k.TBTime, k.RegsPerTB, k.SharedMemPerTB, occStr, save)
+		idem := ""
+		if k.Idempotent {
+			idem = " idempotent"
+		}
+		fmt.Printf("  kernel %-18s launches=%-4d TBs=%-7d tb=%-10v regs/TB=%-6d smem/TB=%-6d TBs/SM=%-3s save=%v%s\n",
+			k.Name, counts[i], k.NumTBs, k.TBTime, k.RegsPerTB, k.SharedMemPerTB, occStr, save, idem)
 	}
 	fmt.Println()
 }

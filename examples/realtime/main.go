@@ -3,6 +3,13 @@
 // low-priority kernels (K1, K2). Under FCFS the deadline is blown; a
 // non-preemptive priority scheduler helps; only preemptive priority meets
 // tight deadlines. The example prints the ASCII SM timeline of each case.
+//
+// A second part keeps the preemptive priority scheduler fixed and sweeps
+// the preemption mechanism instead: draining blows the deadline on long
+// thread blocks, context switch pays save/restore traffic, flush preempts
+// the (idempotent) victims almost instantly at the price of re-executed
+// work, and the adaptive cost model picks whichever is cheapest for each
+// preemption.
 package main
 
 import (
@@ -25,10 +32,13 @@ func main() {
 	// K1, K2: long kernels (26 thread blocks of 400us at occupancy 1:
 	// two full waves over 13 SMs, about 800us each).
 	longKernel := func(name string, startDelay time.Duration) *repro.App {
+		// The long kernels are data-parallel (idempotent), so the flush
+		// mechanism in part 2 may cancel and restart their thread blocks.
 		return mustApp(repro.NewApp(name).
 			Kernel(repro.KernelConfig{
 				Name: name + ".kernel", ThreadBlocks: 26,
 				TBTime: 400 * time.Microsecond, RegsPerTB: 40000,
+				Idempotent: true,
 			}).
 			CPU(startDelay).
 			Launch(name + ".kernel"))
@@ -73,5 +83,35 @@ func main() {
 		fmt.Printf("K3 turnaround: %v (deadline %v: %s)\n", k3m.Turnaround, deadline, verdict)
 		fmt.Print(repro.RenderTimeline(res.Timeline, 13, 110))
 		fmt.Println()
+	}
+
+	// Part 2: same preemptive priority scheduler, sweeping the preemption
+	// mechanism. The victims' 400us thread blocks make draining miss the
+	// deadline; the other mechanisms preempt in microseconds and differ only
+	// in what the preemption costs the victims.
+	fmt.Println("=== preemption-mechanism sweep (PPQ, 250us deadline) ===")
+	fmt.Printf("%-16s %14s  %-8s %12s %12s\n", "mechanism", "K3 turnaround", "deadline", "ctx saved", "wasted work")
+	for _, mech := range []repro.MechanismKind{
+		repro.MechanismDrain,
+		repro.MechanismContextSwitch,
+		repro.MechanismFlush,
+		repro.MechanismAdaptive,
+	} {
+		res, err := repro.Run(w, repro.Options{
+			Policy:    repro.PolicyPPQ,
+			Mechanism: mech,
+			MinRuns:   1,
+			Jitter:    -1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		k3m := res.Apps[2]
+		verdict := "MISSED"
+		if k3m.Turnaround <= deadline {
+			verdict = "met"
+		}
+		fmt.Printf("%-16s %14v  %-8s %12d %12v\n",
+			mech, k3m.Turnaround, verdict, res.ContextSavedBytes, res.WastedWork)
 	}
 }

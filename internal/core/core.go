@@ -63,12 +63,16 @@ type LaunchCmd struct {
 }
 
 // PreemptedTB is one entry of a Preempted Thread Block Queue: the handle of
-// a thread block whose context was saved, sufficient to re-issue it later.
+// a thread block whose context was saved (or, for flushed thread blocks of
+// idempotent kernels, discarded), sufficient to re-issue it later.
 type PreemptedTB struct {
 	// Index is the thread-block index within the launch.
 	Index int
 	// Remaining is the execution time the thread block still needs.
 	Remaining sim.Time
+	// Restart marks a flushed thread block: its context was discarded, so
+	// it re-executes from scratch (full duration, no restore traffic).
+	Restart bool
 }
 
 // KSR is a Kernel Status Register: one valid entry of the KSRT, describing
@@ -183,6 +187,10 @@ type sm struct {
 	ctxOnSM   int // installed context id; -1 = none
 	tlb       *mmu.TLB
 	busyFrom  sim.Time
+	// reservedAt is when the SM entered the Reserved state (preemption
+	// start); -1 outside a preemption. PreemptionDone accumulates the
+	// reservation-to-completion time into Stats.PreemptLatency.
+	reservedAt sim.Time
 	// saveBuf is the reusable buffer CancelResident fills; its contents stay
 	// valid until the next CancelResident on this SM.
 	saveBuf []PreemptedTB

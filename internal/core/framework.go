@@ -20,7 +20,10 @@ type Framework struct {
 	cfg    gpu.Config
 	policy Policy
 	mech   Mechanism
-	mem    *gmem.Manager // optional: backs preallocated context-save areas
+	// mechObs is mech's optional TBObserver side, memoized at construction
+	// so the per-completion notification costs no type assertion.
+	mechObs TBObserver
+	mem     *gmem.Manager // optional: backs preallocated context-save areas
 
 	sms   []*sm
 	slots []ksrSlot
@@ -40,6 +43,8 @@ type Framework struct {
 	pendingCtxs []*ctxPending
 	// ctxScratch is the reusable buffer PendingContexts copies ids into.
 	ctxScratch []int
+	// tbScratch is the reusable buffer ResidentTBs copies snapshots into.
+	tbScratch []ResidentTBInfo
 
 	// occ memoizes the occupancy calculation per kernel spec: Occupancy
 	// re-derives register/shared-memory/thread limits on every call, and the
@@ -137,19 +142,21 @@ func New(eng *sim.Engine, cfg gpu.Config, policy Policy, mech Mechanism, opts ..
 	for _, opt := range opts {
 		opt(fw)
 	}
+	fw.mechObs, _ = mech.(TBObserver)
 	if fw.activeLimit <= 0 {
 		return nil, fmt.Errorf("core: active-kernel limit must be positive, got %d", fw.activeLimit)
 	}
 	fw.sms = make([]*sm, cfg.NumSMs)
 	for i := range fw.sms {
 		fw.sms[i] = &sm{
-			fw:       fw,
-			id:       i,
-			ksr:      NoKernel,
-			next:     NoKernel,
-			ctxOnSM:  -1,
-			busyFrom: -1,
-			tlb:      mmu.NewTLB(cfg.TLBEntriesPerSM),
+			fw:         fw,
+			id:         i,
+			ksr:        NoKernel,
+			next:       NoKernel,
+			ctxOnSM:    -1,
+			busyFrom:   -1,
+			reservedAt: -1,
+			tlb:        mmu.NewTLB(cfg.TLBEntriesPerSM),
 		}
 	}
 	fw.slots = make([]ksrSlot, fw.activeLimit)
@@ -617,11 +624,20 @@ func (fw *Framework) issueTB(s *sm, k *KSR) {
 	if len(k.ptbq) > 0 {
 		h := k.ptbq[0]
 		k.ptbq = k.ptbq[1:]
-		restore := fw.cfg.ContextMoveTime(k.ctxBytes)
-		fw.touchSaveArea(s, k, h.Index)
-		tb = residentTB{index: h.Index, restored: true, start: now, end: now + restore + h.Remaining}
-		fw.stats.TBsRestored++
-		fw.stats.ContextRestored += k.ctxBytes
+		if h.Restart {
+			// Flushed thread block: no context to restore, it simply runs
+			// again from scratch for its full (deterministically jittered)
+			// duration.
+			tb = residentTB{index: h.Index, start: now, end: now + fw.tbDuration(k, h.Index)}
+			fw.stats.TBsRestarted++
+		} else {
+			restore := fw.cfg.ContextMoveTime(k.ctxBytes)
+			fw.touchSaveArea(s, k, h.Index)
+			tb = residentTB{index: h.Index, restored: true, start: now, end: now + restore + h.Remaining}
+			fw.stats.TBsRestored++
+			fw.stats.ContextRestored += k.ctxBytes
+			fw.stats.RestoreTime += restore
+		}
 	} else {
 		idx := k.NextTB
 		k.NextTB++
@@ -683,10 +699,15 @@ func (fw *Framework) completeTB(s *sm, index int) {
 	if pos < 0 {
 		panic(fmt.Sprintf("core: completion of non-resident thread block %d on SM %d", index, s.id))
 	}
+	elapsed := fw.eng.Now() - s.resident[pos].start
+	restored := s.resident[pos].restored
 	s.resident = append(s.resident[:pos], s.resident[pos+1:]...)
 	k.Running--
 	k.Done++
 	fw.stats.TBsCompleted++
+	if fw.mechObs != nil {
+		fw.mechObs.ObserveTBFinished(fw, s.ksr, s.id, elapsed, restored)
+	}
 
 	finished := k.Finished()
 	switch s.state {
@@ -779,6 +800,7 @@ func (fw *Framework) ReserveSM(smID int, kid KernelID) {
 	old := s.ksr
 	s.state = SMReserved
 	s.next = kid
+	s.reservedAt = fw.eng.Now()
 	next.Incoming++
 	next.Held++
 	fw.stats.Preemptions++
@@ -852,6 +874,81 @@ func (fw *Framework) CancelResident(smID int) []PreemptedTB {
 // closure-free save-completion callback recover the preempted thread blocks
 // without capturing the slice.
 func (fw *Framework) CanceledTBs(smID int) []PreemptedTB { return fw.sms[smID].saveBuf }
+
+// FlushResident cancels every resident thread block of a reserved SM and
+// re-enqueues them through the kernel's PTBQ to run again from scratch (the
+// flush mechanism for idempotent kernels): no context is saved, but the
+// execution time the cancelled thread blocks had already accumulated is
+// discarded, which FlushResident accounts as Stats.WastedWork. Returns the
+// number of flushed thread blocks.
+func (fw *Framework) FlushResident(smID int) int {
+	s := fw.sms[smID]
+	k := fw.Kernel(s.ksr)
+	now := fw.eng.Now()
+	n := len(s.resident)
+	if n == 0 {
+		return 0
+	}
+	if k == nil {
+		panic(fmt.Sprintf("core: flushing SM %d with resident thread blocks but stale kernel", smID))
+	}
+	if !k.Spec().Idempotent {
+		panic(fmt.Sprintf("core: flushing non-idempotent kernel %s", k.Spec().Name))
+	}
+	s.saveBuf = s.saveBuf[:0]
+	for i := range s.resident {
+		tb := &s.resident[i]
+		fw.eng.Cancel(tb.ev)
+		elapsed := now - tb.start
+		if tb.restored {
+			// A restored block's stint opened with its context restore;
+			// that window is already charged to Stats.RestoreTime, so only
+			// the re-execution beyond it is newly discarded work.
+			elapsed -= fw.cfg.ContextMoveTime(k.ctxBytes)
+		}
+		if elapsed < 0 {
+			elapsed = 0
+		}
+		fw.stats.WastedWork += elapsed
+		fw.stats.TBsFlushed++
+		k.Running--
+		s.saveBuf = append(s.saveBuf, PreemptedTB{Index: tb.index, Restart: true})
+	}
+	s.resident = s.resident[:0]
+	fw.PushPreempted(s.ksr, s.saveBuf)
+	return n
+}
+
+// ResidentTBInfo is a mechanism's view of one resident thread block: only
+// what the hardware could observe (no oracle knowledge of the remaining
+// execution time).
+type ResidentTBInfo struct {
+	// Index is the thread-block index within its launch.
+	Index int
+	// Elapsed is how long the thread block has occupied the SM so far
+	// (including context-restore traffic for restored thread blocks).
+	Elapsed sim.Time
+	// Restored marks a thread block re-issued from a saved context.
+	Restored bool
+}
+
+// ResidentTBs snapshots the SM's resident thread blocks for a mechanism's
+// cost model. The returned slice is a reused scratch buffer, valid until the
+// next call.
+func (fw *Framework) ResidentTBs(smID int) []ResidentTBInfo {
+	s := fw.sms[smID]
+	now := fw.eng.Now()
+	fw.tbScratch = fw.tbScratch[:0]
+	for i := range s.resident {
+		tb := &s.resident[i]
+		fw.tbScratch = append(fw.tbScratch, ResidentTBInfo{
+			Index:    tb.index,
+			Elapsed:  now - tb.start,
+			Restored: tb.restored,
+		})
+	}
+	return fw.tbScratch
+}
 
 // PushPreempted appends preempted thread-block handles to the kernel's
 // PTBQ. The framework issues PTBQ entries before fresh thread blocks, which
@@ -931,6 +1028,10 @@ func (fw *Framework) PreemptionDone(smID int) {
 	}
 	s.draining = false
 	s.saving = false
+	if s.reservedAt >= 0 {
+		fw.stats.PreemptLatency += fw.eng.Now() - s.reservedAt
+		s.reservedAt = -1
+	}
 	fw.stats.PreemptionsDone++
 	fw.policy.OnPreemptionDone(fw, smID)
 

@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/sim"
+
 // Policy is a scheduling policy plugged into the framework (§3.3). The
 // framework invokes the policy on the events the paper names — a kernel
 // entering the active queue (OnActivated) and an SM becoming idle (OnSMIdle)
@@ -74,4 +76,17 @@ type Mechanism interface {
 	// OnTBFinished runs when a thread block finishes on a reserved SM
 	// (used by the draining mechanism to detect completion).
 	OnTBFinished(fw *Framework, smID int)
+}
+
+// TBObserver is an optional Mechanism extension: a mechanism that also
+// implements it is notified of every thread-block completion (on any SM, not
+// just reserved ones), which is how the adaptive mechanism feeds its online
+// per-kernel runtime estimator. elapsed is the time the thread block
+// occupied the SM; restored thread blocks include their context-restore
+// traffic in elapsed and carry only partial execution, so estimators
+// typically skip them. The framework memoizes the assertion at construction;
+// implementing the interface costs nothing on the completion path beyond the
+// call itself.
+type TBObserver interface {
+	ObserveTBFinished(fw *Framework, k KernelID, smID int, elapsed sim.Time, restored bool)
 }

@@ -187,12 +187,17 @@ type Stats struct {
 	TBsCompleted      int
 	TBsPreempted      int
 	TBsRestored       int
+	TBsFlushed        int // thread blocks cancelled by a flush
+	TBsRestarted      int // flushed thread blocks re-issued from scratch
 	Preemptions       int // SM reservations
 	PreemptionsDone   int
 	ContextSavedBytes int64
 	ContextRestored   int64
 	SaveTime          sim.Time // total time SMs spent saving context
+	RestoreTime       sim.Time // total time SMs spent restoring context
 	DrainTime         sim.Time // total time SMs spent draining
+	WastedWork        sim.Time // execution time discarded by flushes
+	PreemptLatency    sim.Time // total reservation-to-completion time
 	SetupTime         sim.Time
 	SMBusyTime        sim.Time // integral of busy SMs over time
 	MaxPTBQ           int

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// update rewrites the golden files instead of comparing against them:
+//
+//	go test ./internal/experiments -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// compareGolden checks a rendered table byte-for-byte against its committed
+// golden file, so any formatting or numeric drift — an accidental change to
+// a simulator constant, a scheduling decision, the table renderer — fails
+// the suite.
+func compareGolden(name, got string) error {
+	path := filepath.Join("testdata", name+".golden")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("missing golden file %s (seed it with -update): %w", path, err)
+	}
+	if string(want) != got {
+		return fmt.Errorf("%s drifted from %s (refresh with -update if the change is intended):\n--- got ---\n%s\n--- want ---\n%s",
+			name, path, got, want)
+	}
+	return nil
+}
+
+// checkGolden compares against (or, with -update, rewrites) the named golden
+// file. Intentional changes are reviewed through the golden diff after
+// regenerating with -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	if *update {
+		path := filepath.Join("testdata", name+".golden")
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	if err := compareGolden(name, got); err != nil {
+		t.Error(err)
+	}
+}
+
+// goldenOpts pins every knob that feeds the golden simulations. Do not
+// change without regenerating the goldens.
+func goldenOpts() Options {
+	return Options{
+		Sizes:   []int{4},
+		PerSize: 5,
+		Seed:    7,
+		Scale:   48,
+		MinRuns: 2,
+		Workers: 4, // output is byte-identical at any worker count
+	}
+}
+
+// TestGoldenTables regenerates a reduced version of every reported table and
+// compares each against its committed golden: Table 1/2, Figure 2, the
+// priority grid (Figures 5/6), the DSS grid (Figures 7/8 plus the §4.4
+// cross-point summary), and the mechanisms grid.
+func TestGoldenTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweeps in -short mode")
+	}
+	o := goldenOpts()
+
+	rows, err := RunTable1(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table1", Table1Table(rows).Render())
+	checkGolden(t, "table2", RunTable2().Render())
+
+	fig2, err := RunFig2(o.Seed, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig2", fig2.Table().Render())
+
+	fig5, fig6, err := RunPriority(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig5", fig5.Table().Render())
+	checkGolden(t, "fig6", fig6.Table().Render())
+
+	fig7, fig8, err := RunDSS(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tab := range fig7.Tables() {
+		checkGolden(t, fmt.Sprintf("fig7%c", 'a'+i), tab.Render())
+	}
+	checkGolden(t, "fig8", fig8.Table().Render())
+	var dss strings.Builder
+	dss.WriteString(fig7.Chart(48))
+	for _, size := range fig8.Sizes {
+		fmt.Fprintf(&dss, "cross point at %d procs: %.2f\n", size, fig8.CrossPoint(size))
+	}
+	checkGolden(t, "dss", dss.String())
+
+	mech, err := RunMechanisms(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "mechanisms", mech.Table().Render())
+}
+
+// TestGoldenHarnessDetectsDrift pins that the comparison really is
+// byte-exact: a one-character difference must fail, and identical content
+// must pass.
+func TestGoldenHarnessDetectsDrift(t *testing.T) {
+	if *update {
+		t.Skip("drift check is meaningless while rewriting goldens")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "table2.golden"))
+	if err != nil {
+		t.Fatalf("goldens not seeded: %v", err)
+	}
+	if err := compareGolden("table2", string(want)); err != nil {
+		t.Errorf("identical content rejected: %v", err)
+	}
+	drifted := strings.Replace(string(want), "13", "14", 1)
+	if drifted == string(want) {
+		t.Fatal("drift fixture did not change the table")
+	}
+	if err := compareGolden("table2", drifted); err == nil {
+		t.Error("golden harness accepted drifted content")
+	}
+	if err := compareGolden("no-such-table", "x"); err == nil {
+		t.Error("golden harness accepted a missing golden file")
+	}
+}

@@ -161,9 +161,26 @@ func newApp(name string) *appBuilder {
 			SharedMemPerTB: row.SharedMemB,
 			ThreadsPerTB:   row.ThreadsPerTB,
 			Launches:       row.Launches,
+			Idempotent:     !nonIdempotent[row.App+"/"+row.Kernel],
 		})
 	}
 	return b
+}
+
+// nonIdempotent lists the suite kernels (keyed app/kernel, since bare kernel
+// names like "main" are not unique across benchmarks) whose thread blocks
+// update global state through atomics (histogram accumulation, atomic
+// binning/scatter), so a cancelled thread block cannot be re-executed from
+// scratch. Everything else in the suite is a data-parallel kernel writing
+// disjoint outputs, which the flush mechanism may cancel and restart.
+var nonIdempotent = map[string]bool{
+	"histo/prescan":          true, // privatized histogram accumulation
+	"histo/intermediates":    true,
+	"histo/final":            true,
+	"histo/main":             true,
+	"tpacf/genhists":         true, // histogram accumulation
+	"mri-gridding/binning":   true, // atomic binning
+	"mri-gridding/splitSort": true, // atomic scatter
 }
 
 func (b *appBuilder) cpu(us float64) *appBuilder {

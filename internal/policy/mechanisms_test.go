@@ -1,0 +1,78 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/preempt"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// idemSpec is spec() with the idempotency flag set, so the flush mechanism
+// takes its cancel-and-restart path instead of the context-switch fallback.
+func idemSpec(name string, numTBs int, tbTimeUs float64, occ int) *trace.KernelSpec {
+	s := spec(name, numTBs, tbTimeUs, occ)
+	s.Idempotent = true
+	return s
+}
+
+// TestPoliciesDriveNewMechanisms runs the preemptive policies against the
+// flush and adaptive mechanisms end to end: policies are mechanism-oblivious,
+// so every reservation they make must complete and every kernel must finish
+// under the new mechanisms too, with the invariant checker green throughout.
+func TestPoliciesDriveNewMechanisms(t *testing.T) {
+	mechs := map[string]func() core.Mechanism{
+		"flush":    func() core.Mechanism { return preempt.Flush{} },
+		"adaptive": func() core.Mechanism { return preempt.NewAdaptive() },
+	}
+	pols := map[string]func() core.Policy{
+		"ppq":       func() core.Policy { return NewPPQ(false) },
+		"dss":       func() core.Policy { return NewDSS(2) },
+		"timeslice": func() core.Policy { return NewTimeSlice(sim.Microseconds(40)) },
+	}
+	for mn, mk := range mechs {
+		for pn, pk := range pols {
+			t.Run(mn+"/"+pn, func(t *testing.T) {
+				eng, fw, tbl := newFW(t, 4, pk(), mk())
+				hi := ctxOf(t, tbl, "hi", 1)
+				lo := ctxOf(t, tbl, "lo", 0)
+				// The low-priority victim mixes idempotent and non-idempotent
+				// kernels so flush exercises both paths.
+				pLo := launch(t, fw, lo, idemSpec("lo-idem", 12, 50, 1))
+				pLo2 := launch(t, fw, lo, spec("lo-atomic", 12, 50, 1))
+				eng.RunUntil(sim.Microseconds(10))
+				pHi := launch(t, fw, hi, idemSpec("hi", 8, 10, 2))
+				runChecked(t, eng, fw)
+				for name, p := range map[string]*probe{"lo": pLo, "lo2": pLo2, "hi": pHi} {
+					if !p.done {
+						t.Errorf("%s kernel did not finish", name)
+					}
+				}
+				st := fw.Stats()
+				if st.Preemptions != st.PreemptionsDone {
+					t.Errorf("preemptions %d != done %d", st.Preemptions, st.PreemptionsDone)
+				}
+				if st.TBsFlushed != st.TBsRestarted {
+					t.Errorf("flushed %d != restarted %d", st.TBsFlushed, st.TBsRestarted)
+				}
+			})
+		}
+	}
+}
+
+// TestTimeSliceFlushMakesProgress pins that repeated flush preemptions under
+// round-robin time slicing cannot livelock medium thread blocks: the quantum
+// is longer than a block's runtime, so restarted blocks complete before the
+// next rotation.
+func TestTimeSliceFlushMakesProgress(t *testing.T) {
+	eng, fw, tbl := newFW(t, 4, NewTimeSlice(sim.Microseconds(60)), preempt.Flush{})
+	a := ctxOf(t, tbl, "a", 0)
+	b := ctxOf(t, tbl, "b", 0)
+	pa := launch(t, fw, a, idemSpec("a", 16, 30, 2))
+	pb := launch(t, fw, b, idemSpec("b", 16, 30, 2))
+	runChecked(t, eng, fw)
+	if !pa.done || !pb.done {
+		t.Fatalf("kernels did not finish: a=%v b=%v", pa.done, pb.done)
+	}
+}

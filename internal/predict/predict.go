@@ -1,0 +1,55 @@
+// Package predict provides the online runtime estimators that make
+// preemption-mechanism selection decidable: Pai et al. ("Preemptive Thread
+// Block Scheduling with Online Structural Runtime Prediction") show that a
+// per-kernel estimate of thread-block runtime, learned from the thread
+// blocks that already completed, is enough to choose between draining and
+// switching at each preemption. The adaptive mechanism in internal/preempt
+// keys an exponentially-weighted moving average by kernel specification, so
+// repeated launches of the same kernel (the replay methodology re-launches
+// every kernel many times) keep refining one estimate.
+//
+// Estimators are deliberately dumb containers: plain maps, no locking, no
+// time source. Each simulation owns its own estimator, which keeps runs
+// pure functions of their seed at any worker count.
+package predict
+
+// EWMA is an exponentially-weighted moving-average estimator keyed by an
+// arbitrary comparable key (the adaptive mechanism uses *trace.KernelSpec).
+// The zero value is not usable; construct with NewEWMA.
+type EWMA[K comparable] struct {
+	alpha float64
+	est   map[K]float64
+}
+
+// NewEWMA returns an estimator with smoothing factor alpha in (0, 1]: the
+// weight of each new sample. alpha = 1 tracks only the latest sample; small
+// alphas average over a long history.
+func NewEWMA[K comparable](alpha float64) *EWMA[K] {
+	if alpha <= 0 || alpha > 1 {
+		panic("predict: EWMA smoothing factor must be in (0, 1]")
+	}
+	return &EWMA[K]{alpha: alpha, est: make(map[K]float64)}
+}
+
+// Observe folds one sample into the key's estimate. The first sample for a
+// key becomes the estimate directly.
+func (e *EWMA[K]) Observe(key K, sample float64) {
+	if old, ok := e.est[key]; ok {
+		e.est[key] = old + e.alpha*(sample-old)
+	} else {
+		e.est[key] = sample
+	}
+}
+
+// Predict returns the key's current estimate, and whether any sample has
+// been observed for it.
+func (e *EWMA[K]) Predict(key K) (float64, bool) {
+	v, ok := e.est[key]
+	return v, ok
+}
+
+// Len returns the number of keys with an estimate.
+func (e *EWMA[K]) Len() int { return len(e.est) }
+
+// Forget drops the key's estimate (for callers that retire keys).
+func (e *EWMA[K]) Forget(key K) { delete(e.est, key) }

@@ -1,0 +1,73 @@
+package predict
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFirstSampleIsEstimate(t *testing.T) {
+	e := NewEWMA[string](0.25)
+	if _, ok := e.Predict("k"); ok {
+		t.Error("empty estimator predicted")
+	}
+	e.Observe("k", 42)
+	if v, ok := e.Predict("k"); !ok || v != 42 {
+		t.Errorf("Predict = %v,%v after first sample, want 42,true", v, ok)
+	}
+}
+
+func TestConvergesToConstantStream(t *testing.T) {
+	e := NewEWMA[int](0.25)
+	e.Observe(1, 1000)
+	for i := 0; i < 60; i++ {
+		e.Observe(1, 10)
+	}
+	v, _ := e.Predict(1)
+	if math.Abs(v-10) > 0.01 {
+		t.Errorf("estimate %v did not converge to 10", v)
+	}
+}
+
+func TestRecencyWeighting(t *testing.T) {
+	// With alpha 0.5 the estimate after samples 0,100 is 50: the new sample
+	// carries alpha of the weight.
+	e := NewEWMA[int](0.5)
+	e.Observe(7, 0)
+	e.Observe(7, 100)
+	if v, _ := e.Predict(7); v != 50 {
+		t.Errorf("estimate %v, want 50", v)
+	}
+}
+
+func TestKeysAreIndependent(t *testing.T) {
+	e := NewEWMA[string](0.5)
+	e.Observe("a", 1)
+	e.Observe("b", 2)
+	if e.Len() != 2 {
+		t.Errorf("Len = %d", e.Len())
+	}
+	if v, _ := e.Predict("a"); v != 1 {
+		t.Errorf("a = %v", v)
+	}
+	e.Forget("a")
+	if _, ok := e.Predict("a"); ok {
+		t.Error("forgotten key still predicts")
+	}
+	if v, _ := e.Predict("b"); v != 2 {
+		t.Errorf("b = %v after forgetting a", v)
+	}
+}
+
+func TestAlphaValidation(t *testing.T) {
+	for _, alpha := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("alpha %v accepted", alpha)
+				}
+			}()
+			NewEWMA[int](alpha)
+		}()
+	}
+	NewEWMA[int](1) // boundary: valid
+}

@@ -1,0 +1,143 @@
+package preempt
+
+import (
+	"repro/internal/core"
+	"repro/internal/predict"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// adaptChoice is the mechanism Adaptive selected for one in-flight SM
+// preemption.
+type adaptChoice uint8
+
+const (
+	adaptNone adaptChoice = iota
+	adaptDrain
+	adaptSwitch
+	adaptFlush
+)
+
+// adaptiveAlpha is the smoothing factor of the per-kernel thread-block
+// runtime estimator: each completed thread block contributes a quarter of
+// the new estimate, enough to track phase changes without chasing jitter.
+const adaptiveAlpha = 0.25
+
+// Adaptive chooses among draining, context switch and flush independently
+// for every preemption, using an online cost model (after Pai et al.'s
+// online runtime prediction, which makes the drain-vs-switch choice
+// decidable):
+//
+//   - draining costs the predicted time until the slowest resident thread
+//     block completes, estimated as the per-kernel EWMA of completed
+//     thread-block runtimes minus the block's observed elapsed time (the
+//     kernel's static per-block time seeds the estimate before the first
+//     completion);
+//   - context switch costs the pipeline drain plus the known save latency
+//     now and an equal restore latency later;
+//   - flush (idempotent kernels only) costs the pipeline drain plus the
+//     elapsed work it would discard and re-execute.
+//
+// The minimum wins. Ties break deterministically toward bounded latency:
+// context switch, then flush, then draining — a strictly cheaper candidate
+// is required to displace the earlier one — so simulations stay
+// reproducible at any worker count.
+type Adaptive struct {
+	est  *predict.EWMA[*trace.KernelSpec]
+	mode []adaptChoice // per SM, the choice of the in-flight preemption
+
+	drains, switches, flushes int
+}
+
+// Adaptive feeds its estimator from every thread-block completion.
+var _ core.TBObserver = (*Adaptive)(nil)
+
+// NewAdaptive returns a fresh adaptive mechanism. Each simulation needs its
+// own instance: the estimator state is part of the simulation.
+func NewAdaptive() *Adaptive {
+	return &Adaptive{est: predict.NewEWMA[*trace.KernelSpec](adaptiveAlpha)}
+}
+
+// Name implements core.Mechanism.
+func (a *Adaptive) Name() string { return "adaptive" }
+
+// Decisions reports how many preemptions resolved through each underlying
+// mechanism (preemptions of SMs with no resident thread blocks complete
+// immediately and count toward none of them).
+func (a *Adaptive) Decisions() (drains, switches, flushes int) {
+	return a.drains, a.switches, a.flushes
+}
+
+// ObserveTBFinished implements core.TBObserver: every fresh (non-restored)
+// thread-block completion refines the kernel's runtime estimate. Restored
+// thread blocks are skipped — their elapsed time mixes restore traffic with
+// a partial re-execution, not a full runtime sample.
+func (a *Adaptive) ObserveTBFinished(fw *core.Framework, kid core.KernelID, smID int, elapsed sim.Time, restored bool) {
+	if restored {
+		return
+	}
+	if k := fw.Kernel(kid); k != nil {
+		a.est.Observe(k.Spec(), float64(elapsed))
+	}
+}
+
+// Preempt implements core.Mechanism: score the three mechanisms for this
+// SM's current residents and dispatch the cheapest.
+func (a *Adaptive) Preempt(fw *core.Framework, smID int) {
+	if len(a.mode) < fw.NumSMs() {
+		a.mode = make([]adaptChoice, fw.NumSMs())
+	}
+	if fw.SMResident(smID) == 0 {
+		a.mode[smID] = adaptNone
+		fw.PreemptionDone(smID)
+		return
+	}
+	k := fw.Kernel(fw.SMKernel(smID))
+	spec := k.Spec()
+	res := fw.ResidentTBs(smID)
+	cfg := fw.Config()
+
+	predicted := spec.TBTime // static prior until a completion is observed
+	if v, ok := a.est.Predict(spec); ok {
+		predicted = sim.Time(v)
+	}
+	var drainCost, wasted sim.Time
+	for _, tb := range res {
+		if rem := predicted - tb.Elapsed; rem > drainCost {
+			drainCost = rem
+		}
+		wasted += tb.Elapsed
+	}
+	saveT := cfg.ContextMoveTime(cfg.SMContextBytes(spec, len(res)))
+	switchCost := cfg.PipelineDrainLatency + 2*saveT // save now, restore later
+	flushCost := cfg.PipelineDrainLatency + wasted   // re-execute elapsed work
+
+	choice, best := adaptSwitch, switchCost
+	if spec.Idempotent && flushCost < best {
+		choice, best = adaptFlush, flushCost
+	}
+	if drainCost < best {
+		choice = adaptDrain
+	}
+	a.mode[smID] = choice
+	switch choice {
+	case adaptDrain:
+		a.drains++
+		fw.MarkDraining(smID)
+	case adaptSwitch:
+		a.switches++
+		fw.Engine().AfterFunc(cfg.PipelineDrainLatency, csFreeze, fw, int64(smID))
+	case adaptFlush:
+		a.flushes++
+		fw.Engine().AfterFunc(cfg.PipelineDrainLatency, flushFreeze, fw, int64(smID))
+	}
+}
+
+// OnTBFinished implements core.Mechanism: completes drain-mode preemptions;
+// switch- and flush-mode preemptions complete through their freeze events.
+func (a *Adaptive) OnTBFinished(fw *core.Framework, smID int) {
+	if smID < len(a.mode) && a.mode[smID] == adaptDrain && fw.SMResident(smID) == 0 {
+		a.mode[smID] = adaptNone
+		fw.PreemptionDone(smID)
+	}
+}

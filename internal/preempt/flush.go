@@ -1,0 +1,51 @@
+package preempt
+
+import (
+	"repro/internal/core"
+)
+
+// Flush is the cancel-and-restart mechanism (an extension beyond the
+// paper's two mechanisms, after Chimera-style SM flushing): resident thread
+// blocks of an idempotent kernel are cancelled outright and re-enqueued
+// through the PTBQ to run again from scratch. Nothing is saved or restored,
+// so the preemption latency is just the pipeline drain — but the execution
+// time the cancelled thread blocks had already accumulated is wasted work
+// that the kernel pays again later.
+//
+// Flushing is only sound for idempotent kernels (no atomics or other
+// order-dependent global updates; see trace.KernelSpec.Idempotent). For
+// non-idempotent kernels Flush falls back to the context-switch save path,
+// so it is safe to install unconditionally.
+type Flush struct{}
+
+// Name implements core.Mechanism.
+func (Flush) Name() string { return "flush" }
+
+// Preempt implements core.Mechanism: drain the pipeline for a precise
+// cancellation point, then flush.
+func (Flush) Preempt(fw *core.Framework, smID int) {
+	fw.Engine().AfterFunc(fw.Config().PipelineDrainLatency, flushFreeze, fw, int64(smID))
+}
+
+// flushFreeze is the freeze point at the end of the pipeline drain: cancel
+// and re-enqueue every resident thread block (thread blocks that completed
+// during the drain finished normally). Non-idempotent kernels divert to the
+// context-switch freeze, whose pipeline drain has already happened here.
+func flushFreeze(p any, x int64) {
+	fw, smID := p.(*core.Framework), int(x)
+	if fw.SMResident(smID) == 0 {
+		fw.PreemptionDone(smID)
+		return
+	}
+	if k := fw.Kernel(fw.SMKernel(smID)); k == nil || !k.Spec().Idempotent {
+		csFreeze(p, x)
+		return
+	}
+	fw.FlushResident(smID)
+	fw.PreemptionDone(smID)
+}
+
+// OnTBFinished implements core.Mechanism. Thread blocks that complete while
+// the pipeline is draining simply finish; the freeze point flushes whatever
+// is still resident.
+func (Flush) OnTBFinished(fw *core.Framework, smID int) {}

@@ -1,0 +1,172 @@
+package preempt
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// idempotentKernel returns a kernel whose thread blocks may be flushed.
+func idempotentKernel(tbTimeUs float64) *trace.KernelSpec {
+	return &trace.KernelSpec{
+		Name: "idem", NumTBs: 8, TBTime: sim.Microseconds(tbTimeUs),
+		RegsPerTB: 65536, ThreadsPerTB: 64, Idempotent: true,
+	}
+}
+
+// runVictim runs the reserve-on-second scenario against an arbitrary victim
+// kernel: the victim starts alone, and at submitAtUs a short second kernel
+// preempts SM 0 through the installed mechanism.
+func runVictim(t *testing.T, mech core.Mechanism, victim *trace.KernelSpec, submitAtUs float64) (bDone sim.Time, st core.Stats) {
+	t.Helper()
+	eng, fw, tbl := setup(t, mech)
+	ctxA, _ := tbl.Create("a", 0)
+	ctxB, _ := tbl.Create("b", 1)
+	if err := fw.Submit(&core.LaunchCmd{Ctx: ctxA, Spec: victim}); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(sim.Microseconds(submitAtUs))
+	err := fw.Submit(&core.LaunchCmd{Ctx: ctxB, Spec: shortKernel(), OnDone: func(at sim.Time) {
+		bDone = at
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if bDone == 0 {
+		t.Fatal("preempting kernel did not finish")
+	}
+	return bDone, fw.Stats()
+}
+
+func TestNewMechanismNames(t *testing.T) {
+	if (Flush{}).Name() != "flush" {
+		t.Error("Flush name")
+	}
+	if NewAdaptive().Name() != "adaptive" {
+		t.Error("Adaptive name")
+	}
+}
+
+func TestFlushPreemptsQuicklyWithWastedWork(t *testing.T) {
+	// The victim's 100us thread block is cancelled and restarted: B gets the
+	// SM after just the pipeline drain, no context traffic moves, and the
+	// elapsed execution time is accounted as wasted work.
+	bDone, st := runVictim(t, Flush{}, idempotentKernel(100), 10)
+	if bDone > sim.Microseconds(20) {
+		t.Errorf("B finished at %v; flush should preempt in microseconds", bDone)
+	}
+	if st.TBsFlushed != 1 || st.TBsRestarted != 1 {
+		t.Errorf("flushed/restarted = %d/%d, want 1/1", st.TBsFlushed, st.TBsRestarted)
+	}
+	if st.WastedWork <= 0 {
+		t.Error("flush accounted no wasted work")
+	}
+	if st.ContextSavedBytes != 0 || st.TBsPreempted != 0 {
+		t.Errorf("flush moved context: %+v", st)
+	}
+}
+
+func TestFlushFallsBackToContextSwitch(t *testing.T) {
+	// A non-idempotent victim cannot be flushed: the mechanism must divert
+	// to the context-switch save path.
+	bDone, st := runVictim(t, Flush{}, longKernel(), 10)
+	if bDone > sim.Microseconds(40) {
+		t.Errorf("B finished at %v; fallback save should preempt in microseconds", bDone)
+	}
+	if st.TBsFlushed != 0 || st.WastedWork != 0 {
+		t.Errorf("non-idempotent kernel was flushed: %+v", st)
+	}
+	if st.TBsPreempted != 1 || st.ContextSavedBytes == 0 {
+		t.Errorf("fallback did not save context: %+v", st)
+	}
+}
+
+func TestFlushRestartRunsFullDuration(t *testing.T) {
+	// The restarted thread block pays its full execution time again: with a
+	// preemption at ~10us into a 100us block, the victim's makespan must
+	// exceed the no-preemption makespan by roughly the discarded work.
+	_, st := runVictim(t, Flush{}, idempotentKernel(100), 10)
+	if st.TBsCompleted != 8+1 {
+		t.Errorf("TBsCompleted = %d, want 9", st.TBsCompleted)
+	}
+	// Wasted work is the elapsed time at the freeze point: about 9.5us
+	// (reserve at 10us + 0.5us pipeline drain - 1us setup).
+	if st.WastedWork < sim.Microseconds(8) || st.WastedWork > sim.Microseconds(11) {
+		t.Errorf("WastedWork = %v, want ~9.5us", st.WastedWork)
+	}
+}
+
+func TestAdaptivePicksDrainForShortThreadBlocks(t *testing.T) {
+	// 5us thread blocks vs a ~10us save+restore bill: draining is cheaper.
+	mech := NewAdaptive()
+	bDone, st := runVictim(t, mech, idempotentKernel(5), 10)
+	drains, switches, flushes := mech.Decisions()
+	if drains != 1 || switches != 0 || flushes != 0 {
+		t.Errorf("decisions = %d/%d/%d, want drain only", drains, switches, flushes)
+	}
+	if st.ContextSavedBytes != 0 || st.WastedWork != 0 {
+		t.Errorf("drain choice moved context or wasted work: %+v", st)
+	}
+	if bDone > sim.Microseconds(25) {
+		t.Errorf("B finished at %v", bDone)
+	}
+}
+
+func TestAdaptivePicksSwitchForLongNonIdempotent(t *testing.T) {
+	// A 100us non-idempotent block: draining costs ~100us, flushing is not
+	// allowed, so the bounded-latency context switch wins.
+	mech := NewAdaptive()
+	bDone, st := runVictim(t, mech, longKernel(), 10)
+	drains, switches, flushes := mech.Decisions()
+	if switches != 1 || drains != 0 || flushes != 0 {
+		t.Errorf("decisions = %d/%d/%d, want switch only", drains, switches, flushes)
+	}
+	if st.TBsPreempted != 1 || st.TBsRestored != 1 {
+		t.Errorf("switch choice did not save/restore: %+v", st)
+	}
+	if bDone > sim.Microseconds(40) {
+		t.Errorf("B finished at %v", bDone)
+	}
+}
+
+func TestAdaptivePicksFlushForYoungIdempotentBlocks(t *testing.T) {
+	// A 100us idempotent block preempted ~4us in: the wasted work (~4us)
+	// undercuts the ~10us save+restore bill and the ~96us drain.
+	mech := NewAdaptive()
+	bDone, st := runVictim(t, mech, idempotentKernel(100), 5)
+	drains, switches, flushes := mech.Decisions()
+	if flushes != 1 || drains != 0 || switches != 0 {
+		t.Errorf("decisions = %d/%d/%d, want flush only", drains, switches, flushes)
+	}
+	if st.TBsFlushed != 1 || st.ContextSavedBytes != 0 {
+		t.Errorf("flush choice saved context: %+v", st)
+	}
+	if bDone > sim.Microseconds(20) {
+		t.Errorf("B finished at %v", bDone)
+	}
+}
+
+func TestAdaptiveLatencyNeverWorseThanWorstMechanism(t *testing.T) {
+	// For every victim shape, the adaptive choice must finish the
+	// preempting kernel no later than the slowest fixed mechanism does.
+	for _, victim := range []*trace.KernelSpec{
+		idempotentKernel(5), idempotentKernel(100), longKernel(),
+	} {
+		worst := sim.Time(0)
+		for _, mech := range []core.Mechanism{Drain{}, ContextSwitch{}, Flush{}} {
+			if done, _ := runVictim(t, mech, victim, 10); done > worst {
+				worst = done
+			}
+		}
+		adaptDone, _ := runVictim(t, NewAdaptive(), victim, 10)
+		if adaptDone > worst {
+			t.Errorf("victim %s: adaptive finished B at %v, worst fixed mechanism %v",
+				victim.Name, adaptDone, worst)
+		}
+	}
+}

@@ -1,4 +1,5 @@
-// Package preempt implements the paper's two preemption mechanisms (§3.2).
+// Package preempt implements the paper's two preemption mechanisms (§3.2)
+// plus two extensions that open the mechanism axis: flush and adaptive.
 //
 // Context switch follows the classic operating-system approach: execution on
 // the SM stops (after the pipeline drains, for precise exceptions), a
@@ -12,6 +13,12 @@
 // thread blocks run to completion; nothing is saved or restored, but the
 // preemption latency is dictated by the execution time of the running
 // thread blocks — and a persistent kernel can never be preempted.
+//
+// Flush cancels the resident thread blocks of idempotent kernels outright
+// and re-enqueues them to run from scratch: no save/restore traffic and
+// near-zero latency, paid for in wasted (re-executed) work. Adaptive picks
+// among the three per preemption with an online cost model fed by a
+// per-kernel thread-block runtime estimator (internal/predict).
 package preempt
 
 import (

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// fuzzSeedSuite is a small but representative suite for the fuzz corpus:
+// multiple apps, every op kind, an idempotent and a non-idempotent kernel.
+func fuzzSeedSuite() *Suite {
+	app := &App{
+		Name: "seed",
+		Kernels: []KernelSpec{
+			{Name: "k0", NumTBs: 8, TBTime: sim.Microseconds(5), RegsPerTB: 4096,
+				SharedMemPerTB: 2048, ThreadsPerTB: 256, Launches: 2, Idempotent: true},
+			{Name: "k1", NumTBs: 1, TBTime: sim.Microseconds(50), RegsPerTB: 16384,
+				ThreadsPerTB: 64, Launches: 1},
+		},
+		Ops: []Op{
+			{Kind: OpCPU, Dur: sim.Microseconds(10)},
+			{Kind: OpH2D, Bytes: 1 << 20, Stream: 1},
+			{Kind: OpLaunch, Kernel: 0, Stream: 1},
+			{Kind: OpLaunch, Kernel: 1},
+			{Kind: OpSync},
+			{Kind: OpLaunch, Kernel: 0},
+			{Kind: OpD2H, Bytes: 4096},
+		},
+		Class1: ClassShort,
+		Class2: ClassMedium,
+	}
+	return &Suite{Apps: []*App{app, app.Scale(2)}}
+}
+
+// FuzzReadJSON drives the suite decoder with mutated trace files: whatever
+// the input, ReadJSON must either return a validated suite or an error —
+// never panic. The corpus seeds a round-tripped real suite plus the
+// malformed shapes that tripped earlier versions (a null app entry caused a
+// nil dereference) and the usual JSON edge cases.
+func FuzzReadJSON(f *testing.F) {
+	var buf bytes.Buffer
+	if err := fuzzSeedSuite().WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	for _, seed := range []string{
+		``,
+		`{}`,
+		`{"apps":[]}`,
+		`{"apps":[null]}`, // the nil-app panic this fuzz target found
+		`{"apps":[{}]}`,
+		`{"apps":[{"name":"x","kernels":null,"ops":null}]}`,
+		`{"apps":[{"name":"x","kernels":[{"name":"k","num_tbs":-1}],"ops":[{"kind":"launch"}]}]}`,
+		`{"apps":[{"name":"x","kernels":[{"name":"k","num_tbs":1,"tb_time_ns":1,"threads_per_tb":1}],` +
+			`"ops":[{"kind":"nope"}],"class1":"SHORT","class2":"BOGUS"}]}`,
+		`{"apps":[{"name":"x","class1":7}]}`,
+		`{"apps":`, // truncated
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must be a fully valid suite: re-validating and
+		// round-tripping it must succeed.
+		for _, a := range s.Apps {
+			if a == nil {
+				t.Fatal("ReadJSON returned a suite with a nil app")
+			}
+			if err := a.Validate(); err != nil {
+				t.Fatalf("ReadJSON returned an invalid app: %v", err)
+			}
+		}
+		var out bytes.Buffer
+		if err := s.WriteJSON(&out); err != nil {
+			t.Fatalf("round-trip write failed: %v", err)
+		}
+		if _, err := ReadJSON(&out); err != nil {
+			t.Fatalf("round-trip read failed: %v", err)
+		}
+	})
+}
+
+func TestReadJSONRejectsNullApp(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"apps":[null]}`)); err == nil {
+		t.Fatal("null app accepted")
+	}
+}

@@ -29,7 +29,12 @@ func ReadJSON(r io.Reader) (*Suite, error) {
 	if len(s.Apps) == 0 {
 		return nil, fmt.Errorf("trace: suite contains no apps")
 	}
-	for _, a := range s.Apps {
+	for i, a := range s.Apps {
+		// A JSON null in the apps array decodes to a nil *App; validating
+		// through it would panic (found by FuzzReadJSON).
+		if a == nil {
+			return nil, fmt.Errorf("trace: suite app %d is null", i)
+		}
 		if err := a.Validate(); err != nil {
 			return nil, err
 		}

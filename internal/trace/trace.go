@@ -70,6 +70,11 @@ type KernelSpec struct {
 	// Launches is the number of times the application launches this kernel
 	// per run (informational; the Ops sequence is authoritative).
 	Launches int `json:"launches"`
+	// Idempotent marks a kernel whose thread blocks can be cancelled and
+	// re-executed from scratch with the same result (no atomics or other
+	// order-dependent global updates). The flush preemption mechanism only
+	// applies to idempotent kernels.
+	Idempotent bool `json:"idempotent,omitempty"`
 }
 
 // Validate checks the spec for internal consistency.

@@ -2,8 +2,9 @@
 // Multiprogramming on GPUs" (Tanasic et al., ISCA 2014).
 //
 // It provides a trace-driven simulator of a GK110 (Kepler)-class GPU
-// extended with the paper's hardware multiprogramming support: two per-SM
-// preemption mechanisms (context switch and draining), concurrent execution
+// extended with the paper's hardware multiprogramming support: four per-SM
+// preemption mechanisms (context switch, draining, flush for idempotent
+// kernels, and an adaptive cost-model hybrid), concurrent execution
 // of kernels from different processes, a hardware scheduling framework
 // (command buffers, active queue, KSRT, SMST, PTBQs) and scheduling policies
 // including the paper's Dynamic Spatial Sharing (DSS).
@@ -72,6 +73,14 @@ const (
 	MechanismContextSwitch MechanismKind = "context-switch"
 	// MechanismDrain stops issue and waits for resident thread blocks.
 	MechanismDrain MechanismKind = "drain"
+	// MechanismFlush cancels resident thread blocks of idempotent kernels
+	// and re-runs them from scratch (no save/restore traffic, wasted work
+	// instead); non-idempotent kernels fall back to a context switch.
+	MechanismFlush MechanismKind = "flush"
+	// MechanismAdaptive picks drain, context switch or flush per preemption
+	// with an online cost model fed by a per-kernel thread-block runtime
+	// estimator.
+	MechanismAdaptive MechanismKind = "adaptive"
 	// MechanismNone forbids preemption (only valid with non-preemptive
 	// policies).
 	MechanismNone MechanismKind = "none"
@@ -212,9 +221,12 @@ type Result struct {
 	// Completed reports whether every application reached MinRuns.
 	Completed bool
 	// Preemptions counts SM reservations; ContextSavedBytes counts context
-	// traffic moved by the context-switch mechanism.
+	// traffic moved by the context-switch mechanism; WastedWork is the
+	// execution time discarded (and later re-executed) by the flush
+	// mechanism.
 	Preemptions       int
 	ContextSavedBytes int64
+	WastedWork        time.Duration
 	// Utilization is the SM busy fraction.
 	Utilization float64
 	// Timeline holds SM activity intervals when recording was requested.
@@ -279,6 +291,10 @@ func (o Options) mechanismFactory() (func() core.Mechanism, error) {
 		return func() core.Mechanism { return preempt.ContextSwitch{} }, nil
 	case MechanismDrain:
 		return func() core.Mechanism { return preempt.Drain{} }, nil
+	case MechanismFlush:
+		return func() core.Mechanism { return preempt.Flush{} }, nil
+	case MechanismAdaptive:
+		return func() core.Mechanism { return preempt.NewAdaptive() }, nil
 	case MechanismNone:
 		return nil, nil
 	default:
@@ -362,6 +378,7 @@ func run(w Workload, o Options, iso func(*trace.App) (sim.Time, error)) (*Result
 		Completed:         res.Completed,
 		Preemptions:       res.Stats.Preemptions,
 		ContextSavedBytes: res.Stats.ContextSavedBytes,
+		WastedWork:        time.Duration(res.Stats.WastedWork),
 		Utilization:       res.Utilization,
 	}
 	perfs := make([]metrics.AppPerf, len(res.Apps))

@@ -251,6 +251,51 @@ func TestPersistentKernelStarvesUnderDrainButNotContextSwitch(t *testing.T) {
 	}
 }
 
+func TestRunAcceptsFlushAndAdaptiveMechanisms(t *testing.T) {
+	apps := scaled(t, 32, "spmv", "sgemm")
+	w := Workload{Apps: apps, HighPriority: 0}
+	for _, mech := range []MechanismKind{MechanismFlush, MechanismAdaptive} {
+		res, err := Run(w, Options{Policy: PolicyPPQ, Mechanism: mech, Seed: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", mech, err)
+		}
+		if !res.Completed {
+			t.Errorf("%s: workload incomplete", mech)
+		}
+	}
+}
+
+func TestFlushPreemptsPersistentIdempotentKernel(t *testing.T) {
+	// A persistent kernel can never be drained, but when it is idempotent
+	// the flush mechanism cancels its thread blocks outright, so the victim
+	// still makes progress — and the discarded execution shows up as wasted
+	// work.
+	persistent, err := NewApp("persistent").
+		Kernel(KernelConfig{Name: "spin", ThreadBlocks: 13, TBTime: 10 * time.Second,
+			RegsPerTB: 40000, Idempotent: true}).
+		Launch("spin").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := scaled(t, 32, "spmv")[0]
+	w := Workload{Apps: []*App{persistent, victim}, HighPriority: 1}
+	res, err := Run(w, Options{Policy: PolicyPPQ, Mechanism: MechanismFlush,
+		MaxSimTime: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Apps[1].Runs < 3 {
+		t.Errorf("flush should let the victim progress (ran %d times)", res.Apps[1].Runs)
+	}
+	if res.WastedWork <= 0 {
+		t.Error("flushing a running kernel must report wasted work")
+	}
+	if res.ContextSavedBytes != 0 {
+		t.Errorf("flush moved %d bytes of context", res.ContextSavedBytes)
+	}
+}
+
 func TestRunDeterministicAcrossCalls(t *testing.T) {
 	apps := scaled(t, 32, "histo", "spmv")
 	opts := Options{Policy: PolicyDSS, Mechanism: MechanismContextSwitch, Seed: 77}
