@@ -1,0 +1,206 @@
+// Command benchcheck gates benchmark regressions in CI: it parses `go test
+// -bench` output (stdin or -in), compares each benchmark's ns/op and
+// allocs/op against a committed JSON baseline, and exits non-zero when a
+// metric regressed by more than the allowed fraction — or when a baselined
+// benchmark did not run at all, so the gate cannot be dodged by narrowing
+// the -bench pattern. Run with -update to (re)write the baseline from the
+// measured numbers instead.
+//
+// Typical CI usage:
+//
+//	go test -run '^$' -bench 'IssueCompleteTB|PreemptLatency' -benchmem ./... \
+//	    | go run ./cmd/benchcheck -baseline bench_baseline.json
+//
+// Baselines are machine-dependent: ns/op compares meaningfully only against
+// a baseline recorded on comparable hardware, which is why the threshold is
+// generous (25%) and allocs/op — which is hardware-independent — is held to
+// the same relative bound with only half-an-allocation of absolute slack.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Measurement is one benchmark's gated metrics.
+type Measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Baseline is the committed reference file.
+type Baseline struct {
+	// Note documents how the numbers were recorded.
+	Note string `json:"note,omitempty"`
+	// Benchmarks maps the benchmark name (GOMAXPROCS suffix stripped) to
+	// its reference measurement.
+	Benchmarks map[string]Measurement `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench` result line: name, iteration
+// count, then value/unit pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+// stripProcs removes the trailing -N GOMAXPROCS suffix from a benchmark
+// name, so baselines compare across machines with different core counts.
+func stripProcs(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// parseBench extracts measurements from `go test -bench -benchmem` output.
+// Later duplicate lines (e.g. the same benchmark from repeated -count runs)
+// overwrite earlier ones.
+func parseBench(r io.Reader) (map[string]Measurement, error) {
+	out := make(map[string]Measurement)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := stripProcs(m[1])
+		fields := strings.Fields(m[2])
+		var meas Measurement
+		seen := false
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchcheck: bad value %q for %s", fields[i], name)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				meas.NsPerOp = val
+				seen = true
+			case "allocs/op":
+				meas.AllocsPerOp = val
+				seen = true
+			}
+		}
+		if seen {
+			out[name] = meas
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchcheck: no benchmark results in input")
+	}
+	return out, nil
+}
+
+// check compares measured results against the baseline and returns one
+// human-readable problem per violated bound. Every baselined benchmark must
+// be present in the measurement.
+func check(base *Baseline, got map[string]Measurement, maxRegress float64) []string {
+	var problems []string
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		have, ok := got[name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: baselined but not measured (did the -bench pattern change?)", name))
+			continue
+		}
+		if want.NsPerOp > 0 && have.NsPerOp > want.NsPerOp*(1+maxRegress) {
+			problems = append(problems, fmt.Sprintf("%s: %.1f ns/op regressed more than %.0f%% over baseline %.1f",
+				name, have.NsPerOp, maxRegress*100, want.NsPerOp))
+		}
+		// Half-an-allocation of absolute slack: a 0-alloc baseline fails on
+		// the first new allocation, without tripping on formatting noise.
+		if have.AllocsPerOp > want.AllocsPerOp*(1+maxRegress)+0.5 {
+			problems = append(problems, fmt.Sprintf("%s: %.1f allocs/op regressed over baseline %.1f",
+				name, have.AllocsPerOp, want.AllocsPerOp))
+		}
+	}
+	return problems
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "bench_baseline.json", "committed baseline JSON")
+		in           = flag.String("in", "", "benchmark output file (default: stdin)")
+		maxRegress   = flag.Float64("max-regress", 0.25, "allowed fractional regression per metric")
+		update       = flag.Bool("update", false, "write the measured numbers as the new baseline")
+		note         = flag.String("note", "", "baseline note recorded with -update")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	got, err := parseBench(r)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *update {
+		base := &Baseline{Note: *note, Benchmarks: got}
+		data, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchcheck: wrote %d benchmarks to %s\n", len(got), *baselinePath)
+		return
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(fmt.Errorf("reading baseline (seed it with -update): %w", err))
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", *baselinePath, err))
+	}
+	if len(base.Benchmarks) == 0 {
+		fatal(fmt.Errorf("%s contains no benchmarks", *baselinePath))
+	}
+
+	problems := check(&base, got, *maxRegress)
+	for name, have := range got {
+		if want, ok := base.Benchmarks[name]; ok {
+			fmt.Printf("benchcheck: %-50s %10.1f ns/op (baseline %10.1f)  %6.1f allocs/op (baseline %6.1f)\n",
+				name, have.NsPerOp, want.NsPerOp, have.AllocsPerOp, want.AllocsPerOp)
+		}
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "benchcheck: FAIL:", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %d baselined benchmarks within %.0f%% of reference\n",
+		len(base.Benchmarks), *maxRegress*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcheck:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkIssueCompleteTB-8   	     100	    105000 ns/op	        212345 TBs/s	       0 B/op	       0 allocs/op
+BenchmarkPreemptLatency/draining-8 	      50	   2000000 ns/op	        12.0 preempts/op	    4096 B/op	      30 allocs/op
+BenchmarkPreemptLatency/adaptive-8 	      50	   2500000 ns/op	        12.0 preempts/op	    8192 B/op	      60 allocs/op
+PASS
+ok  	repro	1.234s
+`
+
+func parsed(t *testing.T) map[string]Measurement {
+	t.Helper()
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestParseBench(t *testing.T) {
+	got := parsed(t)
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	tb, ok := got["BenchmarkIssueCompleteTB"]
+	if !ok {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+	if tb.NsPerOp != 105000 || tb.AllocsPerOp != 0 {
+		t.Errorf("IssueCompleteTB = %+v", tb)
+	}
+	dr := got["BenchmarkPreemptLatency/draining"]
+	if dr.NsPerOp != 2000000 || dr.AllocsPerOp != 30 {
+		t.Errorf("draining = %+v (custom preempts/op metric must not confuse the parser)", dr)
+	}
+	if _, err := parseBench(strings.NewReader("no benchmarks here")); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestCheck(t *testing.T) {
+	got := parsed(t)
+	base := &Baseline{Benchmarks: map[string]Measurement{
+		"BenchmarkIssueCompleteTB":         {NsPerOp: 100000, AllocsPerOp: 0},
+		"BenchmarkPreemptLatency/draining": {NsPerOp: 1900000, AllocsPerOp: 30},
+		"BenchmarkPreemptLatency/adaptive": {NsPerOp: 2400000, AllocsPerOp: 60},
+	}}
+	if problems := check(base, got, 0.25); len(problems) != 0 {
+		t.Errorf("within-threshold run flagged: %v", problems)
+	}
+
+	// >25% ns/op regression fails.
+	base.Benchmarks["BenchmarkIssueCompleteTB"] = Measurement{NsPerOp: 80000, AllocsPerOp: 0}
+	problems := check(base, got, 0.25)
+	if len(problems) != 1 || !strings.Contains(problems[0], "IssueCompleteTB") {
+		t.Errorf("31%% ns/op regression not flagged: %v", problems)
+	}
+	// ...but passes with a looser threshold.
+	if problems := check(base, got, 0.5); len(problems) != 0 {
+		t.Errorf("50%% threshold flagged a 31%% regression: %v", problems)
+	}
+	base.Benchmarks["BenchmarkIssueCompleteTB"] = Measurement{NsPerOp: 100000, AllocsPerOp: 0}
+
+	// A zero-alloc baseline fails on the first new allocation.
+	got["BenchmarkIssueCompleteTB"] = Measurement{NsPerOp: 100000, AllocsPerOp: 1}
+	if problems := check(base, got, 0.25); len(problems) != 1 {
+		t.Errorf("new allocation on zero-alloc baseline not flagged: %v", problems)
+	}
+	got["BenchmarkIssueCompleteTB"] = Measurement{NsPerOp: 100000, AllocsPerOp: 0}
+
+	// A baselined benchmark missing from the run fails.
+	base.Benchmarks["BenchmarkGone"] = Measurement{NsPerOp: 1}
+	problems = check(base, got, 0.25)
+	if len(problems) != 1 || !strings.Contains(problems[0], "not measured") {
+		t.Errorf("missing benchmark not flagged: %v", problems)
+	}
+
+	// Improvements never fail.
+	delete(base.Benchmarks, "BenchmarkGone")
+	got["BenchmarkPreemptLatency/draining"] = Measurement{NsPerOp: 500, AllocsPerOp: 0}
+	if problems := check(base, got, 0.25); len(problems) != 0 {
+		t.Errorf("improvement flagged: %v", problems)
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkFoo-8":          "BenchmarkFoo",
+		"BenchmarkFoo-128":        "BenchmarkFoo",
+		"BenchmarkFoo":            "BenchmarkFoo",
+		"BenchmarkFoo/sub-case-4": "BenchmarkFoo/sub-case",
+	} {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

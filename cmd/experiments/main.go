@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|table2|fig2|fig5|fig6|fig7|fig8|priority|dss|mechanisms|mps|static|slicing|ablations|all")
+		exp      = flag.String("exp", "all", "experiment: table1|table2|fig2|fig5|fig6|fig7|fig8|priority|dss|mechanisms|load|mps|static|slicing|ablations|all")
 		n        = flag.Int("n", 10, "workloads per size")
 		sizes    = flag.String("sizes", "2,4,6,8", "workload sizes")
 		seed     = flag.Uint64("seed", 2014, "random seed")
@@ -148,6 +148,13 @@ func main() {
 			fatal(err)
 		}
 		emit("mechanisms", r.Table())
+	}
+	if want("load") {
+		r, err := experiments.RunLoad(opts, nil)
+		if err != nil {
+			fatal(err)
+		}
+		emit("load", r.Table())
 	}
 	if want("mps") {
 		r, err := experiments.RunMPS(opts)

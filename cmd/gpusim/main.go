@@ -4,10 +4,19 @@
 // (-parallel workers) and reports the per-replica metrics plus their mean,
 // which quantifies seed sensitivity.
 //
+// With -arrivals the simulation becomes an open system: instead of the apps
+// looping forever, requests arrive continuously (a synthetic Poisson, bursty
+// or heavy-tailed stream over the apps, or a replayed JSON arrival trace),
+// each admitting a fresh process that is retired on completion, and the
+// report shows per-class percentile latencies, deadline-miss rates and
+// goodput.
+//
 // Examples:
 //
 //	gpusim -apps spmv,lbm,mri-gridding -policy dss -mech context-switch -hp 0
 //	gpusim -apps spmv,sgemm -policy dss -reps 8 -parallel 4
+//	gpusim -apps spmv,lbm -hp 0 -policy ppq -mech adaptive -scale 48 -arrivals poisson -rate 20000
+//	gpusim -apps spmv,lbm -scale 48 -arrivals stream.json   # replay a saved stream
 package main
 
 import (
@@ -17,6 +26,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/profiling"
@@ -35,6 +45,11 @@ func main() {
 		timeline = flag.Bool("timeline", false, "print an ASCII SM timeline")
 		list     = flag.Bool("list", false, "list available benchmarks and exit")
 		prioDMA  = flag.Bool("priority-dma", false, "priority scheduling on the transfer engine")
+		arrFlag  = flag.String("arrivals", "", "open-system mode: poisson|bursty|heavytail, or a path to an arrival-trace JSON")
+		rate     = flag.Float64("rate", 20000, "open-system offered load in requests per second")
+		horizon  = flag.Duration("horizon", 5*time.Millisecond, "open-system arrival injection window")
+		deadline = flag.Duration("deadline", 2*time.Millisecond, "completion deadline of the high-priority class (0 = none)")
+		arrOut   = flag.String("arrivals-out", "", "write the (generated or replayed) arrival stream to this JSON file")
 		reps     = flag.Int("reps", 1, "simulate this many replicas of the workload under derived seeds")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent replica simulations")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -90,6 +105,25 @@ func main() {
 		PriorityDMA:    *prioDMA,
 		Parallel:       *parallel,
 	}
+	if *arrFlag != "" {
+		if *timeline || *reps > 1 {
+			fatal(fmt.Errorf("-arrivals is not compatible with -timeline or -reps"))
+		}
+		// The deadline default belongs to the high-priority class; without
+		// -hp there is a single best-effort class, which gets a deadline
+		// only when the user explicitly asked for one.
+		deadlineSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "deadline" {
+				deadlineSet = true
+			}
+		})
+		if (*hp < 0 || *hp >= len(apps)) && !deadlineSet {
+			*deadline = 0
+		}
+		runOpen(apps, *hp, *arrFlag, *rate, *horizon, *deadline, *arrOut, opts)
+		return
+	}
 	if *reps > 1 {
 		if *timeline {
 			fatal(fmt.Errorf("-timeline is not supported with -reps > 1 (run a single replica to render a timeline)"))
@@ -122,6 +156,81 @@ func main() {
 		fmt.Println()
 		fmt.Print(repro.RenderTimeline(res.Timeline, 13, 120))
 	}
+}
+
+// runOpen simulates an open-system arrival workload over the given apps:
+// either a synthetic stream (mode names the inter-arrival process) or a
+// replayed arrival-trace file. With -hp set, apps[hp] forms a high-priority
+// "rt" class carrying the -deadline budget and the remaining apps the
+// best-effort "batch" class; without it every app joins one "open" class.
+func runOpen(apps []*repro.App, hp int, mode string, rate float64, horizon, deadline time.Duration, outPath string, opts repro.Options) {
+	spec := &repro.ArrivalSpec{Rate: rate, Horizon: horizon}
+	switch mode {
+	case "poisson", "bursty", "heavytail":
+		spec.Process = repro.ArrivalProcess(mode)
+		if hp >= 0 && hp < len(apps) {
+			rest := make([]*repro.App, 0, len(apps)-1)
+			rest = append(rest, apps[:hp]...)
+			rest = append(rest, apps[hp+1:]...)
+			if len(rest) == 0 {
+				rest = apps
+			}
+			spec.Classes = []repro.ArrivalClass{
+				{Name: "rt", Priority: 1, Weight: 1, Deadline: deadline, Apps: []*repro.App{apps[hp]}},
+				{Name: "batch", Priority: 0, Weight: 3, Apps: rest},
+			}
+		} else {
+			spec.Classes = []repro.ArrivalClass{
+				{Name: "open", Priority: 0, Weight: 1, Deadline: deadline, Apps: apps},
+			}
+		}
+	default:
+		f, err := os.Open(mode)
+		if err != nil {
+			fatal(fmt.Errorf("-arrivals %q is neither a process name (poisson|bursty|heavytail) nor a readable trace: %w", mode, err))
+		}
+		tr, err := repro.ReadArrivals(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		spec.Trace = tr
+	}
+	opts.Arrivals = spec
+
+	if outPath != "" {
+		tr, err := spec.Synthesize(opts)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(outPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d arrivals to %s\n", tr.Len(), outPath)
+	}
+
+	res, err := repro.RunOpen(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("open system: policy=%s mechanism=%s arrivals=%s seed=%d\n",
+		opts.Policy, orDefault(string(opts.Mechanism), "auto"), mode, opts.Seed)
+	fmt.Printf("simulated time: %v   admitted: %d   completed: %d   in-flight: %d   utilization: %.1f%%   preemptions: %d\n\n",
+		res.EndTime, res.Admitted, res.Completed, res.InFlight, res.Utilization*100, res.Preemptions)
+	fmt.Printf("%-8s %9s %6s %8s %12s %12s %12s %12s %10s\n",
+		"class", "admitted", "done", "inflight", "wait-p95", "lat-p50", "lat-p95", "lat-p99", "miss-rate")
+	for _, c := range res.Classes {
+		fmt.Printf("%-8s %9d %6d %8d %12v %12v %12v %12v %10.3f\n",
+			c.Name, c.Admitted, c.Completed, c.InFlight, c.WaitP95, c.LatencyP50, c.LatencyP95, c.LatencyP99, c.MissRate)
+	}
+	fmt.Printf("\ngoodput=%.0f req/s (SLO-compliant completions per simulated second)\n", res.Goodput)
 }
 
 // runReplicas simulates reps copies of the workload concurrently, each with

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -17,15 +18,17 @@ import (
 )
 
 func main() {
+	scale := flag.Int("scale", 4, "benchmark scale factor (larger = faster)")
+	flag.Parse()
 	byName := map[string]*repro.App{}
 	for _, a := range repro.Suite() {
 		byName[a.Name()] = a
 	}
 	apps := []*repro.App{
-		byName["spmv"].Scale(4),
-		byName["mri-q"].Scale(4),
-		byName["histo"].Scale(4),
-		byName["sad"].Scale(4),
+		byName["spmv"].Scale(*scale),
+		byName["mri-q"].Scale(*scale),
+		byName["histo"].Scale(*scale),
+		byName["sad"].Scale(*scale),
 	}
 	w := repro.Workload{Apps: apps, HighPriority: -1}
 

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -15,6 +16,8 @@ import (
 )
 
 func main() {
+	scale := flag.Int("scale", 4, "victim benchmark scale factor (larger = faster)")
+	flag.Parse()
 	// A persistent kernel: 13 thread blocks that spin for a very long time
 	// (emulating persistent threads polling for work).
 	persistent, err := repro.NewApp("persistent").
@@ -33,7 +36,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	victim = victim.Scale(4)
+	victim = victim.Scale(*scale)
 
 	w := repro.Workload{Apps: []*repro.App{persistent, victim}, HighPriority: 1}
 	for _, mech := range []repro.MechanismKind{repro.MechanismDrain, repro.MechanismContextSwitch} {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -12,6 +13,8 @@ import (
 )
 
 func main() {
+	scale := flag.Int("scale", 1, "benchmark scale factor (1 = paper-faithful, larger = faster)")
+	flag.Parse()
 	suite := repro.Suite()
 
 	// Pick a short app (spmv) and a long one (lbm): the pairing where
@@ -20,9 +23,9 @@ func main() {
 	for _, a := range suite {
 		switch a.Name() {
 		case "spmv":
-			spmv = a
+			spmv = a.Scale(*scale)
 		case "lbm":
-			lbm = a
+			lbm = a.Scale(*scale)
 		}
 	}
 	w := repro.Workload{Apps: []*repro.App{spmv, lbm}, HighPriority: -1}

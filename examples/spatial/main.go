@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -13,6 +14,8 @@ import (
 )
 
 func main() {
+	scale := flag.Int("scale", 4, "benchmark scale factor (larger = faster)")
+	flag.Parse()
 	suite := repro.Suite()
 	byName := map[string]*repro.App{}
 	for _, a := range suite {
@@ -21,10 +24,10 @@ func main() {
 	// Two medium, one short and one long application; scaled to keep the
 	// timeline readable.
 	apps := []*repro.App{
-		byName["histo"].Scale(4),
-		byName["cutcp"].Scale(4),
-		byName["spmv"].Scale(4),
-		byName["sad"].Scale(4),
+		byName["histo"].Scale(*scale),
+		byName["cutcp"].Scale(*scale),
+		byName["spmv"].Scale(*scale),
+		byName["sad"].Scale(*scale),
 	}
 
 	for _, mech := range []repro.MechanismKind{repro.MechanismContextSwitch, repro.MechanismDrain} {

@@ -1,0 +1,91 @@
+package arrivals
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/preempt"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// TestPropertyConservationAndDeterminism sweeps randomized open-system
+// configurations — every inter-arrival process, a spread of offered loads
+// (including overload that leaves requests in flight at the watchdog), and
+// all four preemption mechanisms — and checks, for each:
+//
+//   - conservation: admitted = completed + in-flight, per class and in
+//     total, and the latency sketches hold exactly one sample per
+//     completion;
+//   - determinism: re-running the identical stream yields a deeply equal
+//     Result (counters, quantile sketch contents, utilization bits).
+func TestPropertyConservationAndDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized open-system sweep in -short mode")
+	}
+	mechs := map[string]func() core.Mechanism{
+		"drain":          func() core.Mechanism { return preempt.Drain{} },
+		"context-switch": func() core.Mechanism { return preempt.ContextSwitch{} },
+		"flush":          func() core.Mechanism { return preempt.Flush{} },
+		"adaptive":       func() core.Mechanism { return preempt.NewAdaptive() },
+	}
+	procs := []Process{ProcPoisson, ProcBursty, ProcHeavyTail}
+	mechNames := []string{"drain", "context-switch", "flush", "adaptive"}
+	r := rng.New(0xA221)
+	for trial := 0; trial < 6; trial++ {
+		p := procs[trial%len(procs)]
+		mech := mechs[mechNames[r.Intn(len(mechNames))]]
+		// Rates from comfortably served to overloaded for a 5ms horizon.
+		rate := float64(10000 * (1 + r.Intn(12)))
+		spec := testSpec(p, rate, uint64(1000+trial))
+		// Overloaded trials get a tight watchdog so requests remain in
+		// flight and the conservation identity is exercised with a
+		// non-zero remainder.
+		rc := testRunConfig(mech)
+		rc.MaxSimTime = 8 * sim.Millisecond
+		if trial%2 == 1 {
+			rc.Policy = func(n int) core.Policy { return policy.NewPPQ(false) }
+		}
+		tr, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("trial %d (%s @%v/s): %v", trial, p, rate, err)
+		}
+		res, err := Run(tr, rc)
+		if err != nil {
+			t.Fatalf("trial %d (%s @%v/s): %v", trial, p, rate, err)
+		}
+		if res.Admitted != res.Completed+res.InFlight {
+			t.Errorf("trial %d: conservation violated: %d != %d + %d",
+				trial, res.Admitted, res.Completed, res.InFlight)
+		}
+		var admitted, completed int
+		for i := range res.Classes {
+			c := &res.Classes[i]
+			admitted += c.Admitted
+			completed += c.Completed
+			if c.InFlight() < 0 {
+				t.Errorf("trial %d: class %s completed more than admitted", trial, c.Name)
+			}
+			if c.Latency.N() != uint64(c.Completed) {
+				t.Errorf("trial %d: class %s has %d latency samples for %d completions",
+					trial, c.Name, c.Latency.N(), c.Completed)
+			}
+			if c.Wait.N() > uint64(c.Admitted) {
+				t.Errorf("trial %d: class %s has more wait samples than admissions", trial, c.Name)
+			}
+		}
+		if admitted != res.Admitted || completed != res.Completed {
+			t.Errorf("trial %d: class totals (%d/%d) disagree with result (%d/%d)",
+				trial, admitted, completed, res.Admitted, res.Completed)
+		}
+		again, err := Run(tr, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res, again) {
+			t.Errorf("trial %d (%s @%v/s): re-run diverged", trial, p, rate)
+		}
+	}
+}

@@ -58,6 +58,9 @@ type LaunchCmd struct {
 	// Priority is the scheduling priority, copied from the context at
 	// Submit time.
 	Priority int
+	// OnStart is invoked when the kernel's first thread block is issued to
+	// an SM (open-system queueing-latency accounting); nil to ignore.
+	OnStart func(at sim.Time)
 	// OnDone is invoked when the kernel's last thread block completes.
 	OnDone func(at sim.Time)
 }
@@ -105,6 +108,10 @@ type KSR struct {
 
 	// Activated is when the kernel entered the active queue.
 	Activated sim.Time
+
+	// started records that the first thread block was issued (the OnStart
+	// notification fired); preempted re-issues must not re-fire it.
+	started bool
 
 	// ctxBytes caches Config.TBContextBytes(Spec()) — hit once per restored
 	// thread block and per save-area touch.

@@ -248,6 +248,25 @@ func (fw *Framework) occupancy(spec *trace.KernelSpec) (occInfo, error) {
 	return info, nil
 }
 
+// ReleaseContext retires a GPU context from the framework: its (empty)
+// command-buffer queue is dropped so the per-context bookkeeping does not
+// grow with the lifetime total of an open system's admitted processes. It is
+// an error to release a context that still has pending commands or active
+// kernels; context ids are never reused, so per-SM installed-context state
+// needs no scrubbing.
+func (fw *Framework) ReleaseContext(ctxID int) error {
+	if cp := fw.pendq[ctxID]; cp != nil && !cp.empty() {
+		return fmt.Errorf("core: releasing context %d with %d pending commands", ctxID, len(cp.cmds)-cp.head)
+	}
+	for _, id := range fw.active {
+		if k := fw.Kernel(id); k != nil && k.Ctx().ID == ctxID {
+			return fmt.Errorf("core: releasing context %d with active kernel %s", ctxID, k.Spec().Name)
+		}
+	}
+	delete(fw.pendq, ctxID)
+	return nil
+}
+
 // PendingContexts returns the ids of contexts whose command buffer holds a
 // command, in arrival order of the buffered command. The returned slice is
 // a copy (reused across calls): mutating it cannot corrupt the framework's
@@ -620,6 +639,12 @@ func (fw *Framework) fillSM(s *sm) {
 // thread block first restores its context at the SM's bandwidth share.
 func (fw *Framework) issueTB(s *sm, k *KSR) {
 	now := fw.eng.Now()
+	if !k.started {
+		k.started = true
+		if k.Cmd.OnStart != nil {
+			k.Cmd.OnStart(now)
+		}
+	}
 	var tb residentTB
 	if len(k.ptbq) > 0 {
 		h := k.ptbq[0]

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -115,6 +116,50 @@ func TestGoldenTables(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkGolden(t, "mechanisms", mech.Table().Render())
+
+	load, err := goldenLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "load", load.Table().Render())
+}
+
+// goldenLoad memoizes the load sweep at the golden options, so the golden
+// comparison and the adaptive-vs-draining property test share one run of
+// the most expensive grid instead of simulating all 12 cells twice.
+var goldenLoad = sync.OnceValues(func() (*LoadResult, error) {
+	return RunLoad(goldenOpts(), nil)
+})
+
+// TestLoadAdaptiveBeatsDrainingAtPeak pins the headline open-system result:
+// at the highest swept offered load, the high-priority class misses strictly
+// fewer deadlines under the adaptive mechanism than under draining, because
+// draining recovers SMs only as fast as the batch class's long thread blocks
+// retire while adaptive switches or flushes them out.
+func TestLoadAdaptiveBeatsDrainingAtPeak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load sweep in -short mode")
+	}
+	load, err := goldenLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := load.Rates[len(load.Rates)-1]
+	drain, ok := load.Row(peak, MechDraining)
+	if !ok {
+		t.Fatal("missing draining row at peak load")
+	}
+	adaptive, ok := load.Row(peak, MechAdaptive)
+	if !ok {
+		t.Fatal("missing adaptive row at peak load")
+	}
+	if drain.RTMissRate == 0 {
+		t.Fatalf("peak load %v/s does not stress draining (zero misses): the sweep is miscalibrated", peak)
+	}
+	if adaptive.RTMissRate >= drain.RTMissRate {
+		t.Errorf("adaptive rt miss rate %.3f not strictly below draining %.3f at peak load %v/s",
+			adaptive.RTMissRate, drain.RTMissRate, peak)
+	}
 }
 
 // TestGoldenHarnessDetectsDrift pins that the comparison really is

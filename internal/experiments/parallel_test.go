@@ -52,6 +52,33 @@ func TestGridDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestLoadDeterministicAcrossWorkerCounts pins the open-system sweep's
+// determinism: for a seeded arrival stream, the rendered load table —
+// quantile-sketch percentiles, miss rates, goodput and utilization included
+// — is byte-identical whether the grid ran on 1, 4 or 8 workers.
+func TestLoadDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load determinism sweep in -short mode")
+	}
+	o := quickOpts(2)
+	o.Workers = 1
+	run := func() string {
+		r, err := RunLoad(o, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Table().Render()
+	}
+	want := run()
+	for _, workers := range []int{4, 8} {
+		o.Workers = workers
+		if got := run(); got != want {
+			t.Errorf("workers=%d produced a different load table than workers=1:\n--- got ---\n%s\n--- want ---\n%s",
+				workers, got, want)
+		}
+	}
+}
+
 // TestFig2DeterministicAcrossRuns covers the concurrently executed Figure 2
 // scenario: repeated runs at the same seed are identical.
 func TestFig2DeterministicAcrossRuns(t *testing.T) {
@@ -87,6 +114,9 @@ func TestGridCancellation(t *testing.T) {
 	}
 	if _, err := AblationActiveLimit(o, []int{4}); !errors.Is(err, context.Canceled) {
 		t.Errorf("AblationActiveLimit err = %v, want context.Canceled", err)
+	}
+	if _, err := RunLoad(o, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunLoad err = %v, want context.Canceled", err)
 	}
 }
 

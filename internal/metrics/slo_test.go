@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestSketchExactSmallValues pins that durations up to 63ns are recorded and
+// reported exactly.
+func TestSketchExactSmallValues(t *testing.T) {
+	var s Sketch
+	for v := sim.Time(0); v < 64; v++ {
+		s.Add(v)
+	}
+	if got := s.Quantile(1); got != 63 {
+		t.Errorf("max quantile = %v, want 63", got)
+	}
+	if got := s.Quantile(0.5); got != 31 && got != 32 {
+		t.Errorf("median = %v, want 31 or 32", got)
+	}
+}
+
+// TestSketchRelativeError checks every reported quantile against the exact
+// order statistic of the same stream: the sketch guarantees an upper bound
+// within one sub-bucket (≈3% relative error).
+func TestSketchRelativeError(t *testing.T) {
+	r := rng.New(42)
+	var s Sketch
+	vals := make([]sim.Time, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		// Log-uniform over ~6 decades, like latencies.
+		v := sim.Time(1 + r.Uint64()%uint64(1+r.Uint64()%1_000_000_000))
+		vals = append(vals, v)
+		s.Add(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		rank := int(q*float64(len(vals))+0.9999) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		exact := vals[rank]
+		got := s.Quantile(q)
+		if got < exact {
+			t.Errorf("q=%v: sketch %v below exact order statistic %v", q, got, exact)
+		}
+		if float64(got) > float64(exact)*(1+2.0/(1<<sketchSubBits))+1 {
+			t.Errorf("q=%v: sketch %v exceeds exact %v by more than the error bound", q, got, exact)
+		}
+	}
+	if s.Quantile(0) != vals[0] {
+		t.Errorf("q=0 = %v, want exact min %v", s.Quantile(0), vals[0])
+	}
+	if s.Quantile(1) != vals[len(vals)-1] {
+		t.Errorf("q=1 = %v, want exact max %v", s.Quantile(1), vals[len(vals)-1])
+	}
+}
+
+// TestSketchOrderInvariant pins the determinism contract: the same multiset
+// of samples yields identical quantiles in any insertion order, and merging
+// partial sketches equals one combined sketch.
+func TestSketchOrderInvariant(t *testing.T) {
+	r := rng.New(7)
+	vals := make([]sim.Time, 5000)
+	for i := range vals {
+		vals[i] = sim.Time(r.Uint64() % 50_000_000)
+	}
+	var fwd, rev, merged, part1, part2 Sketch
+	for _, v := range vals {
+		fwd.Add(v)
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		rev.Add(vals[i])
+	}
+	for i, v := range vals {
+		if i%2 == 0 {
+			part1.Add(v)
+		} else {
+			part2.Add(v)
+		}
+	}
+	merged.Merge(&part1)
+	merged.Merge(&part2)
+	for _, q := range []float64{0, 0.25, 0.5, 0.95, 0.99, 1} {
+		a, b, c := fwd.Quantile(q), rev.Quantile(q), merged.Quantile(q)
+		if a != b || a != c {
+			t.Errorf("q=%v: order/merge dependent quantiles: fwd=%v rev=%v merged=%v", q, a, b, c)
+		}
+	}
+}
+
+func TestSketchEmptyAndNegative(t *testing.T) {
+	var s Sketch
+	if s.Quantile(0.5) != 0 {
+		t.Error("empty sketch quantile != 0")
+	}
+	s.Add(-5)
+	if s.Quantile(1) != 0 {
+		t.Error("negative sample not clamped to zero")
+	}
+}
+
+// TestSLOAccount exercises the counters: misses only past the deadline, only
+// for deadline classes, and goodput counting deadline-met plus no-deadline
+// completions.
+func TestSLOAccount(t *testing.T) {
+	a := NewSLOAccount([]trace.ArrivalClass{
+		{Name: "rt", Priority: 1, Deadline: 100},
+		{Name: "batch"},
+	})
+	a.Admit(0)
+	a.Admit(0)
+	a.Admit(1)
+	a.Issued(0, 10)
+	if missed := a.Complete(0, 50); missed {
+		t.Error("50 < deadline 100 reported as miss")
+	}
+	if missed := a.Complete(0, 150); !missed {
+		t.Error("150 > deadline 100 not reported as miss")
+	}
+	if missed := a.Complete(1, 1_000_000); missed {
+		t.Error("no-deadline class reported a miss")
+	}
+	// batch completed without admit bump: fix the books for Validate.
+	a.Classes[1].Admitted = 1
+	rt := &a.Classes[0]
+	if rt.MissRate() != 0.5 {
+		t.Errorf("rt miss rate = %v, want 0.5", rt.MissRate())
+	}
+	if rt.InFlight() != 0 {
+		t.Errorf("rt in-flight = %d, want 0", rt.InFlight())
+	}
+	adm, done, miss := a.Totals()
+	if adm != 3 || done != 3 || miss != 1 {
+		t.Errorf("totals = %d/%d/%d, want 3/3/1", adm, done, miss)
+	}
+	// 2 good completions (one rt in deadline, one batch) over 2 seconds.
+	if g := a.Goodput(2 * sim.Second); g != 1 {
+		t.Errorf("goodput = %v, want 1", g)
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("consistent account failed validation: %v", err)
+	}
+}

@@ -25,6 +25,22 @@ import (
 	"repro/internal/core"
 )
 
+// None is the mechanism for non-preemptive configurations (FCFS, NPQ,
+// isolated baselines): policies under it never reserve SMs, so an actual
+// preemption is a scheduling bug, not a runtime condition.
+type None struct{}
+
+// Name implements core.Mechanism.
+func (None) Name() string { return "none" }
+
+// Preempt implements core.Mechanism.
+func (None) Preempt(fw *core.Framework, smID int) {
+	panic("preempt: preemption without a mechanism")
+}
+
+// OnTBFinished implements core.Mechanism.
+func (None) OnTBFinished(fw *core.Framework, sm int) {}
+
 // Drain is the SM-draining mechanism.
 type Drain struct{}
 

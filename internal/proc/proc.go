@@ -28,6 +28,10 @@ const IssueOverhead = 2 * sim.Microsecond
 type RunRecord struct {
 	Run        int
 	Start, End sim.Time
+	// FirstIssue is when the run's first kernel thread block reached an SM
+	// (-1 if the run completed without issuing one, which cannot happen for
+	// valid traces: every app launches at least one kernel).
+	FirstIssue sim.Time
 }
 
 // Turnaround returns the run's turnaround time.
@@ -54,15 +58,17 @@ type Process struct {
 	waitingSync bool
 	inCPUPhase  bool
 	runStart    sim.Time
+	firstIssue  sim.Time // first TB issue of the current run; -1 until seen
 	runs        []RunRecord
 	started     bool
 
 	// Continuations allocated once per process: the replay loop schedules
 	// them thousands of times, so per-event closures would dominate the
 	// allocation profile.
-	cpuPhaseDone   func() // end of a trace CPU phase: advance and continue
-	issuePhaseDone func() // end of a command-issue micro-phase: continue
-	beginRun       func() // start of a (re)run: stamp runStart and step
+	cpuPhaseDone   func()            // end of a trace CPU phase: advance and continue
+	issuePhaseDone func()            // end of a command-issue micro-phase: continue
+	beginRun       func()            // start of a (re)run: stamp runStart and step
+	kernelStarted  func(at sim.Time) // a kernel's first thread block reached an SM
 }
 
 type stream struct {
@@ -109,8 +115,15 @@ func newProcess(sys *system.System, ctx *gpu.Context, app *trace.App) *Process {
 	}
 	p.beginRun = func() {
 		p.runStart = p.sys.Eng.Now()
+		p.firstIssue = -1
 		p.step()
 	}
+	p.kernelStarted = func(at sim.Time) {
+		if p.firstIssue < 0 {
+			p.firstIssue = at
+		}
+	}
+	p.firstIssue = -1
 	return p
 }
 
@@ -209,7 +222,7 @@ func (p *Process) step() {
 }
 
 func (p *Process) finishRun() {
-	rec := RunRecord{Run: len(p.runs), Start: p.runStart, End: p.sys.Eng.Now()}
+	rec := RunRecord{Run: len(p.runs), Start: p.runStart, End: p.sys.Eng.Now(), FirstIssue: p.firstIssue}
 	p.runs = append(p.runs, rec)
 	if p.OnRunComplete != nil {
 		p.OnRunComplete(p, rec)
@@ -264,9 +277,10 @@ func (p *Process) dispatch(st *stream) {
 	case trace.OpLaunch:
 		spec := &p.app.Kernels[cmd.op.Kernel]
 		err := p.sys.Exec.Submit(&core.LaunchCmd{
-			Ctx:    p.ctx,
-			Spec:   spec,
-			OnDone: onDone,
+			Ctx:     p.ctx,
+			Spec:    spec,
+			OnStart: p.kernelStarted,
+			OnDone:  onDone,
 		})
 		if err != nil {
 			panic(fmt.Sprintf("proc: submitting kernel %s: %v", spec.Name, err))

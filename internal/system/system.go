@@ -30,6 +30,10 @@ type Config struct {
 	RecordTimeline bool
 	// ActiveLimit overrides the active-queue capacity (0 = NumSMs).
 	ActiveLimit int
+	// ContextCapacity overrides the GPU context-table capacity (0 = 64).
+	// Open-system runs size it to their arrival count so admission never
+	// fails while retired contexts free their slots.
+	ContextCapacity int
 }
 
 // DefaultConfig returns the evaluation machine of Table 2.
@@ -80,13 +84,17 @@ func New(cfg Config, pol core.Policy, mech core.Mechanism) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("system: building host CPU: %w", err)
 	}
+	ctxCap := cfg.ContextCapacity
+	if ctxCap <= 0 {
+		ctxCap = 64
+	}
 	return &System{
 		Eng:      eng,
 		Cfg:      cfg,
 		Exec:     fw,
 		DMA:      dma,
 		CPU:      host,
-		Contexts: gpu.NewContextTable(64),
+		Contexts: gpu.NewContextTable(ctxCap),
 		Mem:      mem,
 	}, nil
 }
@@ -94,4 +102,15 @@ func New(cfg Config, pol core.Policy, mech core.Mechanism) (*System, error) {
 // NewContext registers a new GPU context (one per process).
 func (s *System) NewContext(name string, priority int) (*gpu.Context, error) {
 	return s.Contexts.Create(name, priority)
+}
+
+// RetireContext removes a finished process's GPU context from the machine:
+// the execution engine drops its command-buffer bookkeeping and the context
+// table frees the slot. The context must be quiescent (no pending commands,
+// no active kernels) — retiring mid-flight is a caller bug.
+func (s *System) RetireContext(id int) error {
+	if err := s.Exec.ReleaseContext(id); err != nil {
+		return err
+	}
+	return s.Contexts.Destroy(id)
 }

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// ArrivalClass is a service class of an open-system arrival stream: requests
+// of a class share a scheduling priority and, optionally, a completion
+// deadline against which the SLO accounting measures misses.
+type ArrivalClass struct {
+	Name string `json:"name"`
+	// Priority is the GPU scheduling priority given to every request of
+	// this class (larger is more important, as in gpu.Context).
+	Priority int `json:"priority"`
+	// Deadline is the completion-latency budget of a request (arrival to
+	// run completion); 0 means the class has no deadline.
+	Deadline sim.Time `json:"deadline_ns,omitempty"`
+}
+
+// Arrival is one request of an open-system workload: at virtual time At a
+// fresh process of class Class is admitted and replays application App once.
+type Arrival struct {
+	// At is the arrival (admission) time.
+	At sim.Time `json:"at_ns"`
+	// App indexes ArrivalTrace.Apps.
+	App int `json:"app"`
+	// Class indexes ArrivalTrace.Classes.
+	Class int `json:"class"`
+}
+
+// ArrivalTrace is a serializable open-system workload: a table of
+// application traces, the service classes, and a time-ordered stream of
+// arrivals referencing both. A synthetic generator writes this format so a
+// generated stream can be replayed byte-identically; hand-written or
+// captured streams load the same way.
+type ArrivalTrace struct {
+	Apps     []*App         `json:"apps"`
+	Classes  []ArrivalClass `json:"classes"`
+	Arrivals []Arrival      `json:"arrivals"`
+}
+
+// Validate checks the arrival trace for internal consistency: valid
+// applications, well-formed classes, and a time-ordered arrival stream whose
+// references stay in range.
+func (t *ArrivalTrace) Validate() error {
+	if len(t.Apps) == 0 {
+		return fmt.Errorf("trace: arrival trace has no apps")
+	}
+	for i, a := range t.Apps {
+		if a == nil {
+			return fmt.Errorf("trace: arrival trace app %d is null", i)
+		}
+		if err := a.Validate(); err != nil {
+			return err
+		}
+	}
+	if len(t.Classes) == 0 {
+		return fmt.Errorf("trace: arrival trace has no classes")
+	}
+	seen := make(map[string]bool, len(t.Classes))
+	for i, c := range t.Classes {
+		if c.Name == "" {
+			return fmt.Errorf("trace: arrival class %d has an empty name", i)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("trace: duplicate arrival class %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Deadline < 0 {
+			return fmt.Errorf("trace: arrival class %q has a negative deadline", c.Name)
+		}
+	}
+	if len(t.Arrivals) == 0 {
+		return fmt.Errorf("trace: arrival trace has no arrivals")
+	}
+	var prev sim.Time
+	for i, a := range t.Arrivals {
+		if a.At < 0 {
+			return fmt.Errorf("trace: arrival %d at negative time %v", i, a.At)
+		}
+		if a.At < prev {
+			return fmt.Errorf("trace: arrival %d at %v precedes arrival %d at %v (stream must be time-ordered)",
+				i, a.At, i-1, prev)
+		}
+		prev = a.At
+		if a.App < 0 || a.App >= len(t.Apps) {
+			return fmt.Errorf("trace: arrival %d: app index %d out of range", i, a.App)
+		}
+		if a.Class < 0 || a.Class >= len(t.Classes) {
+			return fmt.Errorf("trace: arrival %d: class index %d out of range", i, a.Class)
+		}
+	}
+	return nil
+}
+
+// WriteJSON serializes the arrival trace as indented JSON.
+func (t *ArrivalTrace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadArrivalTrace parses an arrival trace from JSON and validates it.
+func ReadArrivalTrace(r io.Reader) (*ArrivalTrace, error) {
+	var t ArrivalTrace
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decoding arrival trace: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}

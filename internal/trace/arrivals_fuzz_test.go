@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadArrivalTrace drives the arrival-trace decoder with mutated inputs:
+// whatever the bytes, ReadArrivalTrace must either return a fully validated
+// trace or an error — never panic (the suite decoder's null-app panic
+// motivated the same contract for this format). Whatever parses must
+// round-trip through the writer unchanged in validity.
+func FuzzReadArrivalTrace(f *testing.F) {
+	seed := &ArrivalTrace{
+		Apps:    fuzzSeedSuite().Apps,
+		Classes: []ArrivalClass{{Name: "rt", Priority: 1, Deadline: 500_000}, {Name: "batch"}},
+		Arrivals: []Arrival{
+			{At: 0, App: 0, Class: 0},
+			{At: 1000, App: 1, Class: 1},
+			{At: 1000, App: 0, Class: 1},
+		},
+	}
+	var buf bytes.Buffer
+	if err := seed.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	for _, s := range []string{
+		``,
+		`{}`,
+		`{"apps":[],"classes":[],"arrivals":[]}`,
+		`{"apps":[null],"classes":[{"name":"x"}],"arrivals":[{"at_ns":0}]}`, // null app
+		`{"apps":[{"name":"a","kernels":[{"name":"k","num_tbs":1,"tb_time_ns":1,"threads_per_tb":1}],` +
+			`"ops":[{"kind":"launch"}],"class1":"SHORT","class2":"SHORT"}],` +
+			`"classes":[{"name":"rt","deadline_ns":-1}],"arrivals":[{"at_ns":0,"app":0,"class":0}]}`, // bad deadline
+		`{"apps":[{"name":"a","kernels":[{"name":"k","num_tbs":1,"tb_time_ns":1,"threads_per_tb":1}],` +
+			`"ops":[{"kind":"launch"}],"class1":"SHORT","class2":"SHORT"}],` +
+			`"classes":[{"name":"rt"}],"arrivals":[{"at_ns":5,"app":0,"class":0},{"at_ns":1,"app":0,"class":0}]}`, // out of order
+		`{"apps":[{"name":"a"}],"classes":[{"name":"c"},{"name":"c"}],"arrivals":[{"at_ns":0,"app":7,"class":-2}]}`,
+		`{"arrivals":`, // truncated
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadArrivalTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must be valid and must survive a write/read cycle.
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("ReadArrivalTrace returned an invalid trace: %v", err)
+		}
+		var out bytes.Buffer
+		if err := tr.WriteJSON(&out); err != nil {
+			t.Fatalf("round-trip write failed: %v", err)
+		}
+		if _, err := ReadArrivalTrace(&out); err != nil {
+			t.Fatalf("round-trip read failed: %v", err)
+		}
+	})
+}

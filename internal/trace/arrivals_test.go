@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// arrivalFixture is a small valid arrival trace for tests.
+func arrivalFixture() *ArrivalTrace {
+	suite := fuzzSeedSuite()
+	return &ArrivalTrace{
+		Apps: suite.Apps,
+		Classes: []ArrivalClass{
+			{Name: "rt", Priority: 1, Deadline: sim.Microseconds(500)},
+			{Name: "batch"},
+		},
+		Arrivals: []Arrival{
+			{At: 0, App: 0, Class: 1},
+			{At: sim.Microseconds(10), App: 1, Class: 0},
+			{At: sim.Microseconds(10), App: 0, Class: 1}, // equal times allowed
+			{At: sim.Microseconds(25), App: 1, Class: 0},
+		},
+	}
+}
+
+func TestArrivalTraceRoundTrip(t *testing.T) {
+	tr := arrivalFixture()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArrivalTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Arrivals) != len(tr.Arrivals) || len(got.Classes) != len(tr.Classes) || len(got.Apps) != len(tr.Apps) {
+		t.Fatalf("round trip changed shape: %d/%d/%d apps/classes/arrivals",
+			len(got.Apps), len(got.Classes), len(got.Arrivals))
+	}
+	var buf2 bytes.Buffer
+	if err := got.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("round trip not byte-stable")
+	}
+}
+
+func TestArrivalTraceValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*ArrivalTrace)
+	}{
+		{"no apps", func(tr *ArrivalTrace) { tr.Apps = nil }},
+		{"null app", func(tr *ArrivalTrace) { tr.Apps[0] = nil }},
+		{"no classes", func(tr *ArrivalTrace) { tr.Classes = nil }},
+		{"unnamed class", func(tr *ArrivalTrace) { tr.Classes[0].Name = "" }},
+		{"duplicate class", func(tr *ArrivalTrace) { tr.Classes[1].Name = tr.Classes[0].Name }},
+		{"negative deadline", func(tr *ArrivalTrace) { tr.Classes[0].Deadline = -1 }},
+		{"no arrivals", func(tr *ArrivalTrace) { tr.Arrivals = nil }},
+		{"negative time", func(tr *ArrivalTrace) { tr.Arrivals[0].At = -1 }},
+		{"out of order", func(tr *ArrivalTrace) { tr.Arrivals[3].At = 0 }},
+		{"app out of range", func(tr *ArrivalTrace) { tr.Arrivals[0].App = 99 }},
+		{"class out of range", func(tr *ArrivalTrace) { tr.Arrivals[0].Class = -1 }},
+		{"invalid app", func(tr *ArrivalTrace) { tr.Apps[0].Kernels = nil }},
+	}
+	for _, tc := range cases {
+		tr := arrivalFixture()
+		tc.mutate(tr)
+		if err := tr.Validate(); err == nil {
+			t.Errorf("%s: validation passed, want error", tc.name)
+		}
+	}
+}
+
+func TestReadArrivalTraceRejectsUnknownFields(t *testing.T) {
+	if _, err := ReadArrivalTrace(strings.NewReader(`{"apps":[],"classes":[],"arrivals":[],"extra":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}

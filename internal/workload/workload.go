@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gpu"
+	"repro/internal/preempt"
 	"repro/internal/proc"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -121,19 +122,9 @@ func (rc *RunConfig) defaults() {
 		rc.MaxEvents = 2e9
 	}
 	if rc.Mechanism == nil {
-		rc.Mechanism = func() core.Mechanism { return noPreempt{} }
+		rc.Mechanism = func() core.Mechanism { return preempt.None{} }
 	}
 }
-
-// noPreempt is a mechanism for policies that never reserve SMs; reserving
-// with it is a bug.
-type noPreempt struct{}
-
-func (noPreempt) Name() string { return "none" }
-func (noPreempt) Preempt(fw *core.Framework, smID int) {
-	panic("workload: preemption without a mechanism")
-}
-func (noPreempt) OnTBFinished(fw *core.Framework, sm int) {}
 
 // AppResult is one application's outcome in a workload.
 type AppResult struct {

@@ -174,6 +174,10 @@ type Options struct {
 	// Multi-Process Service does (§2.1): cross-process concurrency under
 	// FCFS, but no memory isolation and no per-process scheduling.
 	MPS bool
+	// Arrivals describes an open-system workload (dynamic request arrivals
+	// instead of a fixed co-scheduled set); it is consumed by RunOpen and
+	// ignored by Run/RunMany. See ArrivalSpec.
+	Arrivals *ArrivalSpec
 	// Parallel bounds the number of concurrently simulated workloads in
 	// RunMany (0 = runtime.NumCPU(), 1 = sequential). Run ignores it.
 	Parallel int
