@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -369,4 +370,44 @@ func BenchmarkIsolatedBaselines(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkRunOpen measures the single-node open-system hot path end to
+// end through the public facade: stream synthesis, per-arrival admission
+// (context + process), PPQ scheduling with adaptive preemption, streaming
+// SLO accounting, and retirement. It is gated by the benchcheck CI job via
+// bench_baseline.json, so regressions on the arrivals path fail CI.
+func BenchmarkRunOpen(b *testing.B) {
+	b.ReportAllocs()
+	spmv, err := AppByName("spmv")
+	if err != nil {
+		b.Fatal(err)
+	}
+	lbm, err := AppByName("lbm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := &ArrivalSpec{
+		Process: ArrivalPoisson,
+		Rate:    30000,
+		Horizon: 4 * time.Millisecond,
+		Classes: []ArrivalClass{
+			{Name: "rt", Priority: 1, Weight: 1, Deadline: 250 * time.Microsecond, Apps: []*App{spmv.Scale(96)}},
+			{Name: "batch", Priority: 0, Weight: 3, Apps: []*App{lbm.Scale(96)}},
+		},
+	}
+	opts := Options{Policy: PolicyPPQ, Mechanism: MechanismAdaptive, Seed: 7, Arrivals: spec}
+	b.ResetTimer()
+	var last *OpenResult
+	for i := 0; i < b.N; i++ {
+		res, err := RunOpen(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last.Completed == 0 {
+		b.Fatal("benchmark stream completed nothing")
+	}
+	b.ReportMetric(float64(last.Admitted), "requests")
 }

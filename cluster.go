@@ -1,0 +1,171 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// DispatchKind selects a cluster dispatch policy: how RunCluster places each
+// arriving request on one of the simulated GPUs.
+type DispatchKind string
+
+// Available dispatch policies.
+const (
+	// DispatchRoundRobin cycles through the GPUs in order, ignoring load.
+	DispatchRoundRobin DispatchKind = DispatchKind(cluster.KindRoundRobin)
+	// DispatchJSQ joins the shortest queue (fewest outstanding requests).
+	DispatchJSQ DispatchKind = DispatchKind(cluster.KindJSQ)
+	// DispatchLeastLoaded minimizes predicted backlog: outstanding requests
+	// weighted by an online per-application service-time estimate.
+	DispatchLeastLoaded DispatchKind = DispatchKind(cluster.KindLeastLoaded)
+	// DispatchClassAffinity pins each service class to a GPU subset and
+	// joins the shortest queue within it.
+	DispatchClassAffinity DispatchKind = DispatchKind(cluster.KindClassAffinity)
+	// DispatchPowerOfTwo samples two GPUs with a seeded RNG and joins the
+	// shorter queue of the two.
+	DispatchPowerOfTwo DispatchKind = DispatchKind(cluster.KindPowerOfTwo)
+)
+
+// DispatchKinds lists the dispatch policies in report order.
+func DispatchKinds() []DispatchKind {
+	kinds := cluster.Kinds()
+	out := make([]DispatchKind, len(kinds))
+	for i, k := range kinds {
+		out[i] = DispatchKind(k)
+	}
+	return out
+}
+
+// NodeReport is one simulated GPU's outcome in a cluster run.
+type NodeReport struct {
+	// Node is the GPU's index in the cluster.
+	Node int
+	// Admitted/Completed/InFlight/Missed are request counts on this GPU.
+	Admitted, Completed, InFlight, Missed int
+	// Utilization is this GPU's SM busy fraction.
+	Utilization float64
+	// Preemptions counts completed SM preemptions on this GPU.
+	Preemptions int
+}
+
+// ClusterResult reports a cluster simulation: the fleet-wide rollup (same
+// shape as OpenResult) plus each GPU's individual outcome.
+type ClusterResult struct {
+	// Dispatch is the placement policy that produced this result.
+	Dispatch DispatchKind
+	// Classes lists fleet-wide per-class outcomes in spec order (per-node
+	// counters summed, latency sketches merged).
+	Classes []ClassReport
+	// Nodes lists per-GPU outcomes in node order.
+	Nodes []NodeReport
+	// Admitted = Completed + InFlight across the fleet (conservation).
+	Admitted, Completed, InFlight, Missed int
+	// EndTime is the virtual time the simulation stopped.
+	EndTime time.Duration
+	// Utilization is the mean SM busy fraction across GPUs.
+	Utilization float64
+	// Goodput is fleet-wide SLO-compliant completions per simulated second.
+	Goodput float64
+	// Preemptions counts completed SM preemptions across the fleet.
+	Preemptions int
+}
+
+// ReadClusterTopology parses a cluster topology (GPU count, dispatch policy,
+// optional dispatch seed and per-node context capacity) from JSON and
+// applies the fields it carries to a copy of the options — the file-based
+// alternative to setting Options.Nodes and Options.Dispatch directly. The
+// node count is always applied (a topology must carry it); fields absent
+// from the file leave the corresponding options untouched.
+func ReadClusterTopology(r io.Reader, o Options) (Options, error) {
+	c, err := cluster.ReadConfig(r)
+	if err != nil {
+		return o, err
+	}
+	o.Nodes = c.Nodes
+	if c.Dispatch != "" {
+		o.Dispatch = DispatchKind(c.Dispatch)
+	}
+	if c.Seed != 0 {
+		o.DispatchSeed = c.Seed
+	}
+	if c.ContextCapacity != 0 {
+		o.ContextCapacity = c.ContextCapacity
+	}
+	return o, nil
+}
+
+// RunCluster simulates the open-system workload described by o.Arrivals on a
+// fleet of o.Nodes identical GPUs behind the o.Dispatch placement policy.
+// The fleet runs in deterministic lockstep (per-GPU event engines merged by
+// timestamp, node index as tie-break), so results are byte-identical across
+// runs and worker counts. Each GPU runs its own instance of the configured
+// scheduling policy and preemption mechanism; a completed request retires on
+// the GPU that ran it.
+func RunCluster(o Options) (*ClusterResult, error) {
+	o = o.fill()
+	if o.Arrivals == nil {
+		return nil, fmt.Errorf("repro: RunCluster needs Options.Arrivals")
+	}
+	nodes := o.Nodes
+	if nodes <= 0 {
+		nodes = 1
+	}
+	dispSeed := o.DispatchSeed
+	if dispSeed == 0 {
+		dispSeed = o.Seed
+	}
+	disp, err := cluster.NewDispatcher(cluster.Kind(o.Dispatch), dispSeed)
+	if err != nil {
+		return nil, err
+	}
+	at, err := o.Arrivals.Synthesize(o)
+	if err != nil {
+		return nil, err
+	}
+	rc, err := o.runConfig()
+	if err != nil {
+		return nil, err
+	}
+	res, err := cluster.Run(at.t, cluster.RunConfig{
+		Sys:        rc.Sys,
+		Nodes:      nodes,
+		Dispatcher: disp,
+		Policy:     rc.Policy,
+		Mechanism:  rc.Mechanism,
+		MaxSimTime: rc.MaxSimTime,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &ClusterResult{
+		Dispatch:    DispatchKind(res.Dispatcher),
+		Admitted:    res.Admitted,
+		Completed:   res.Completed,
+		InFlight:    res.InFlight,
+		Missed:      res.Missed,
+		EndTime:     time.Duration(res.EndTime),
+		Utilization: res.Utilization,
+		Goodput:     res.Goodput,
+		Preemptions: res.Stats.PreemptionsDone,
+	}
+	for i := range res.Classes {
+		out.Classes = append(out.Classes, classReport(&res.Classes[i]))
+	}
+	for i := range res.Nodes {
+		n := &res.Nodes[i]
+		out.Nodes = append(out.Nodes, NodeReport{
+			Node:        i,
+			Admitted:    n.Admitted,
+			Completed:   n.Completed,
+			InFlight:    n.InFlight,
+			Missed:      n.Missed,
+			Utilization: n.Utilization,
+			Preemptions: n.Stats.PreemptionsDone,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package repro
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRunCluster(t *testing.T) {
+	o := Options{
+		Policy:    PolicyPPQ,
+		Mechanism: MechanismAdaptive,
+		Seed:      3,
+		Arrivals:  openSpec(t),
+		Nodes:     3,
+		Dispatch:  DispatchJSQ,
+	}
+	res, err := RunCluster(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Admitted == 0 {
+		t.Fatal("no requests admitted")
+	}
+	if res.Admitted != res.Completed+res.InFlight {
+		t.Errorf("conservation violated: %d != %d + %d", res.Admitted, res.Completed, res.InFlight)
+	}
+	if res.Dispatch != DispatchJSQ {
+		t.Errorf("dispatch = %q, want jsq", res.Dispatch)
+	}
+	if len(res.Nodes) != 3 {
+		t.Fatalf("nodes = %d, want 3", len(res.Nodes))
+	}
+	var adm, done int
+	for _, n := range res.Nodes {
+		adm += n.Admitted
+		done += n.Completed
+		if n.Admitted != n.Completed+n.InFlight {
+			t.Errorf("node %d conservation violated", n.Node)
+		}
+	}
+	if adm != res.Admitted || done != res.Completed {
+		t.Errorf("node sums (%d/%d) disagree with rollup (%d/%d)", adm, done, res.Admitted, res.Completed)
+	}
+	if len(res.Classes) != 2 || res.Classes[0].Name != "rt" || res.Classes[1].Name != "batch" {
+		t.Fatalf("classes = %+v", res.Classes)
+	}
+
+	// Deterministic: an identical run is deeply equal.
+	again, err := RunCluster(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, again) {
+		t.Error("identical cluster runs diverged")
+	}
+}
+
+// TestRunClusterSingleNodeDefault pins that Nodes 0 means one machine and
+// every dispatch policy degenerates gracefully there.
+func TestRunClusterSingleNodeDefault(t *testing.T) {
+	for _, d := range DispatchKinds() {
+		o := Options{Policy: PolicyPPQ, Seed: 3, Arrivals: openSpec(t), Dispatch: d}
+		res, err := RunCluster(o)
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		if len(res.Nodes) != 1 || res.Nodes[0].Admitted != res.Admitted {
+			t.Errorf("%s: single-node default did not route everything to node 0", d)
+		}
+	}
+}
+
+func TestRunClusterValidation(t *testing.T) {
+	if _, err := RunCluster(Options{Policy: PolicyPPQ}); err == nil {
+		t.Error("missing Arrivals accepted")
+	}
+	o := Options{Policy: PolicyPPQ, Arrivals: openSpec(t), Dispatch: "no-such-policy", Nodes: 2}
+	if _, err := RunCluster(o); err == nil {
+		t.Error("unknown dispatch policy accepted")
+	}
+	o = Options{Policy: PolicyPPQ, Arrivals: openSpec(t), Nodes: 100000}
+	if _, err := RunCluster(o); err == nil {
+		t.Error("absurd node count accepted")
+	}
+	// A positive ContextCapacity is enforced per node: a single slot cannot
+	// hold this stream's overlapping requests.
+	o = Options{Policy: PolicyPPQ, Arrivals: openSpec(t), Nodes: 1, ContextCapacity: 1}
+	if _, err := RunCluster(o); err == nil {
+		t.Error("over-admission beyond ContextCapacity accepted")
+	}
+}
+
+func TestReadClusterTopology(t *testing.T) {
+	o, err := ReadClusterTopology(strings.NewReader(`{"nodes": 4, "dispatch": "least-loaded"}`), Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Nodes != 4 || o.Dispatch != DispatchLeastLoaded || o.Seed != 9 {
+		t.Errorf("topology not applied: %+v", o)
+	}
+	if o.DispatchSeed != 0 || o.ContextCapacity != 0 {
+		t.Errorf("absent topology fields overwrote options: %+v", o)
+	}
+	o, err = ReadClusterTopology(strings.NewReader(`{"nodes": 2}`), Options{Dispatch: DispatchJSQ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Dispatch != DispatchJSQ {
+		t.Errorf("topology without a dispatch field overwrote the preset policy: %+v", o)
+	}
+	o, err = ReadClusterTopology(
+		strings.NewReader(`{"nodes": 2, "dispatch": "p2c", "seed": 42, "context_capacity": 16}`), Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.DispatchSeed != 42 || o.ContextCapacity != 16 || o.Seed != 9 {
+		t.Errorf("topology seed/capacity not applied: %+v", o)
+	}
+	if _, err := ReadClusterTopology(strings.NewReader(`{"nodes": 0}`), Options{}); err == nil {
+		t.Error("invalid topology accepted")
+	}
+	if _, err := ReadClusterTopology(strings.NewReader(`garbage`), Options{}); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}

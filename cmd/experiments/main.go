@@ -28,7 +28,8 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|table2|fig2|fig5|fig6|fig7|fig8|priority|dss|mechanisms|load|mps|static|slicing|ablations|all")
+		exp      = flag.String("exp", "all", "experiment: table1|table2|fig2|fig5|fig6|fig7|fig8|priority|dss|mechanisms|load|cluster|mps|static|slicing|ablations|all")
+		gpusFlag = flag.String("gpus", "", "fleet sizes for -exp cluster (comma-separated, empty = 1,2,4)")
 		n        = flag.Int("n", 10, "workloads per size")
 		sizes    = flag.String("sizes", "2,4,6,8", "workload sizes")
 		seed     = flag.Uint64("seed", 2014, "random seed")
@@ -155,6 +156,17 @@ func main() {
 			fatal(err)
 		}
 		emit("load", r.Table())
+	}
+	if want("cluster") {
+		var gpus []int
+		if *gpusFlag != "" {
+			gpus = parseSizes(*gpusFlag)
+		}
+		r, err := experiments.RunCluster(opts, gpus)
+		if err != nil {
+			fatal(err)
+		}
+		emit("cluster", r.Table())
 	}
 	if want("mps") {
 		r, err := experiments.RunMPS(opts)

@@ -11,12 +11,19 @@
 // report shows per-class percentile latencies, deadline-miss rates and
 // goodput.
 //
+// With -gpus N (N > 1) the open system becomes a fleet: N identical GPUs
+// run in deterministic lockstep behind the -dispatch placement policy
+// (round-robin, join-shortest-queue, predicted-backlog least-loaded,
+// class-affinity, or seeded power-of-two-choices), and the report adds each
+// GPU's share of the work. -cluster loads the same topology from JSON.
+//
 // Examples:
 //
 //	gpusim -apps spmv,lbm,mri-gridding -policy dss -mech context-switch -hp 0
 //	gpusim -apps spmv,sgemm -policy dss -reps 8 -parallel 4
 //	gpusim -apps spmv,lbm -hp 0 -policy ppq -mech adaptive -scale 48 -arrivals poisson -rate 20000
 //	gpusim -apps spmv,lbm -scale 48 -arrivals stream.json   # replay a saved stream
+//	gpusim -apps spmv,lbm -hp 0 -scale 48 -arrivals poisson -rate 60000 -gpus 4 -dispatch jsq
 package main
 
 import (
@@ -31,6 +38,16 @@ import (
 	"repro"
 	"repro/internal/profiling"
 )
+
+// dispatchNames joins the supported cluster dispatch policies for flag help
+// and errors, so a new policy reaches both automatically.
+func dispatchNames() string {
+	var names []string
+	for _, k := range repro.DispatchKinds() {
+		names = append(names, string(k))
+	}
+	return strings.Join(names, "|")
+}
 
 func main() {
 	var (
@@ -50,6 +67,9 @@ func main() {
 		horizon  = flag.Duration("horizon", 5*time.Millisecond, "open-system arrival injection window")
 		deadline = flag.Duration("deadline", 2*time.Millisecond, "completion deadline of the high-priority class (0 = none)")
 		arrOut   = flag.String("arrivals-out", "", "write the (generated or replayed) arrival stream to this JSON file")
+		gpus     = flag.Int("gpus", 1, "number of simulated GPUs; with -arrivals >1 runs the fleet behind -dispatch")
+		dispatch = flag.String("dispatch", "round-robin", "cluster dispatch policy: "+dispatchNames())
+		clusterF = flag.String("cluster", "", "cluster topology JSON file; the fields it carries override -gpus/-dispatch")
 		reps     = flag.Int("reps", 1, "simulate this many replicas of the workload under derived seeds")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent replica simulations")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -104,6 +124,34 @@ func main() {
 		RecordTimeline: *timeline,
 		PriorityDMA:    *prioDMA,
 		Parallel:       *parallel,
+	}
+	opts.Nodes = *gpus
+	opts.Dispatch = repro.DispatchKind(*dispatch)
+	// Validate the policy name up front: a typo should fail identically
+	// whether or not this run's fleet size makes the dispatcher matter.
+	known := false
+	for _, k := range repro.DispatchKinds() {
+		if opts.Dispatch == k {
+			known = true
+			break
+		}
+	}
+	if !known {
+		fatal(fmt.Errorf("unknown -dispatch policy %q (use %s)", *dispatch, dispatchNames()))
+	}
+	if *clusterF != "" {
+		f, err := os.Open(*clusterF)
+		if err != nil {
+			fatal(err)
+		}
+		opts, err = repro.ReadClusterTopology(f, opts)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if opts.Nodes > 1 && *arrFlag == "" {
+		fatal(fmt.Errorf("-gpus %d needs -arrivals: the cluster layer serves open request streams", opts.Nodes))
 	}
 	if *arrFlag != "" {
 		if *timeline || *reps > 1 {
@@ -216,6 +264,10 @@ func runOpen(apps []*repro.App, hp int, mode string, rate float64, horizon, dead
 		fmt.Fprintf(os.Stderr, "wrote %d arrivals to %s\n", tr.Len(), outPath)
 	}
 
+	if opts.Nodes > 1 {
+		runCluster(mode, opts)
+		return
+	}
 	res, err := repro.RunOpen(opts)
 	if err != nil {
 		fatal(err)
@@ -224,13 +276,40 @@ func runOpen(apps []*repro.App, hp int, mode string, rate float64, horizon, dead
 		opts.Policy, orDefault(string(opts.Mechanism), "auto"), mode, opts.Seed)
 	fmt.Printf("simulated time: %v   admitted: %d   completed: %d   in-flight: %d   utilization: %.1f%%   preemptions: %d\n\n",
 		res.EndTime, res.Admitted, res.Completed, res.InFlight, res.Utilization*100, res.Preemptions)
+	printClassTable(res.Classes, res.Goodput)
+}
+
+// printClassTable prints the per-class SLO table and goodput footer shared
+// by the open-system and cluster reports.
+func printClassTable(classes []repro.ClassReport, goodput float64) {
 	fmt.Printf("%-8s %9s %6s %8s %12s %12s %12s %12s %10s\n",
 		"class", "admitted", "done", "inflight", "wait-p95", "lat-p50", "lat-p95", "lat-p99", "miss-rate")
-	for _, c := range res.Classes {
+	for _, c := range classes {
 		fmt.Printf("%-8s %9d %6d %8d %12v %12v %12v %12v %10.3f\n",
 			c.Name, c.Admitted, c.Completed, c.InFlight, c.WaitP95, c.LatencyP50, c.LatencyP95, c.LatencyP99, c.MissRate)
 	}
-	fmt.Printf("\ngoodput=%.0f req/s (SLO-compliant completions per simulated second)\n", res.Goodput)
+	fmt.Printf("\ngoodput=%.0f req/s (SLO-compliant completions per simulated second)\n", goodput)
+}
+
+// runCluster simulates the open-system stream on a fleet of GPUs behind the
+// configured dispatch policy and prints the fleet rollup plus each GPU's
+// share of the work.
+func runCluster(mode string, opts repro.Options) {
+	res, err := repro.RunCluster(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cluster: gpus=%d dispatch=%s policy=%s mechanism=%s arrivals=%s seed=%d\n",
+		len(res.Nodes), res.Dispatch, opts.Policy, orDefault(string(opts.Mechanism), "auto"), mode, opts.Seed)
+	fmt.Printf("simulated time: %v   admitted: %d   completed: %d   in-flight: %d   mean utilization: %.1f%%   preemptions: %d\n\n",
+		res.EndTime, res.Admitted, res.Completed, res.InFlight, res.Utilization*100, res.Preemptions)
+	fmt.Printf("%-6s %9s %6s %8s %8s %12s\n", "gpu", "admitted", "done", "inflight", "missed", "utilization")
+	for _, n := range res.Nodes {
+		fmt.Printf("%-6d %9d %6d %8d %8d %11.1f%%\n",
+			n.Node, n.Admitted, n.Completed, n.InFlight, n.Missed, n.Utilization*100)
+	}
+	fmt.Println()
+	printClassTable(res.Classes, res.Goodput)
 }
 
 // runReplicas simulates reps copies of the workload concurrently, each with

@@ -27,6 +27,7 @@ var smokeCases = []struct {
 	{"persistent", []string{"-scale", "16"}},
 	{"realtime", nil}, // builder-made microbenchmark, tiny by construction
 	{"opensystem", []string{"-scale", "96"}},
+	{"cluster", []string{"-scale", "96"}},
 }
 
 // TestExamplesCovered pins that every example directory appears in the

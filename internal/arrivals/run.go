@@ -78,6 +78,13 @@ type engine struct {
 	err      error
 }
 
+// ContextCapacityFor returns the context-table capacity open-system runs
+// default to when none is configured: the stream's arrival count plus
+// slack, so admission never fails even when an overloaded sweep holds every
+// request in flight at once. The cluster layer sizes every node with it, so
+// the guarantee holds for any placement.
+func ContextCapacityFor(tr *trace.ArrivalTrace) int { return len(tr.Arrivals) + 8 }
+
 // Run simulates the arrival trace on the configured machine and reports the
 // streaming SLO metrics. The simulation stops when every admitted request
 // has completed (or at MaxSimTime, leaving the remainder in flight).
@@ -91,7 +98,7 @@ func Run(tr *trace.ArrivalTrace, rc RunConfig) (*Result, error) {
 	}
 	sysCfg := rc.Sys
 	if sysCfg.ContextCapacity <= 0 {
-		sysCfg.ContextCapacity = len(tr.Arrivals) + 8
+		sysCfg.ContextCapacity = ContextCapacityFor(tr)
 	}
 	sys, err := system.New(sysCfg, rc.Policy(len(tr.Classes)), rc.Mechanism())
 	if err != nil {
@@ -129,39 +136,53 @@ func Run(tr *trace.ArrivalTrace, rc RunConfig) (*Result, error) {
 	return res, nil
 }
 
-// inject admits arrival i: a fresh GPU context and process replay the
-// request's application once; completion retires both.
-func (e *engine) inject(i int) {
-	a := &e.tr.Arrivals[i]
-	cls := &e.tr.Classes[a.Class]
-	ctx, err := e.sys.NewContext(cls.Name, cls.Priority)
+// AdmitRequest admits arrival i of tr on sys at the engine's current time:
+// a fresh GPU context and process replay the request's application once.
+// Completion records the request's queueing and completion latency in acct,
+// retires the context (a completed run has no pending commands or active
+// kernels, so a retire failure is an engine invariant violation and
+// panics), and finally calls onDone with the observed execution time (first
+// issue to completion; arrival to completion for runs that never issued).
+// The caller accounts the admission itself (acct.Admit plus its own
+// counters) — the single-node engine at inject time, the cluster layer at
+// dispatch time. Exported for internal/cluster, which admits the same way
+// on whichever node the dispatcher chose.
+func AdmitRequest(sys *system.System, acct *metrics.SLOAccount, tr *trace.ArrivalTrace, i int, onDone func(exec sim.Time)) error {
+	a := &tr.Arrivals[i]
+	cls := &tr.Classes[a.Class]
+	ctx, err := sys.NewContext(cls.Name, cls.Priority)
 	if err != nil {
-		e.fail(fmt.Errorf("arrivals: admitting request %d: %w", i, err))
-		return
+		return err
 	}
-	p, err := proc.NewWithContext(e.sys, ctx, e.tr.Apps[a.App])
+	p, err := proc.NewWithContext(sys, ctx, tr.Apps[a.App])
 	if err != nil {
-		e.fail(fmt.Errorf("arrivals: admitting request %d: %w", i, err))
-		return
+		return err
 	}
 	at, class, ctxID := a.At, a.Class, ctx.ID
 	p.OnRunComplete = func(p *proc.Process, rec proc.RunRecord) {
+		exec := rec.End - at
 		if rec.FirstIssue >= 0 {
-			e.acct.Issued(class, rec.FirstIssue-at)
+			acct.Issued(class, rec.FirstIssue-at)
+			exec = rec.End - rec.FirstIssue
 		}
-		e.acct.Complete(class, rec.End-at)
-		e.finished++
-		if err := e.sys.RetireContext(ctxID); err != nil {
-			// A completed run has no pending commands or active kernels;
-			// failing here is an engine invariant violation.
+		acct.Complete(class, rec.End-at)
+		if err := sys.RetireContext(ctxID); err != nil {
 			panic(fmt.Sprintf("arrivals: retiring request %d: %v", i, err))
 		}
-		e.maybeDone()
+		onDone(exec)
 	}
-	e.acct.Admit(class)
+	return p.Start(sys.Eng.Now())
+}
+
+// inject admits arrival i and chain-schedules the next injection.
+func (e *engine) inject(i int) {
+	e.acct.Admit(e.tr.Arrivals[i].Class)
 	e.admitted++
-	if err := p.Start(e.sys.Eng.Now()); err != nil {
-		e.fail(err)
+	if err := AdmitRequest(e.sys, e.acct, e.tr, i, func(sim.Time) {
+		e.finished++
+		e.maybeDone()
+	}); err != nil {
+		e.fail(fmt.Errorf("arrivals: admitting request %d: %w", i, err))
 		return
 	}
 	if next := i + 1; next < len(e.tr.Arrivals) {

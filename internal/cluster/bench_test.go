@@ -1,0 +1,52 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkClusterDispatch measures a full 4-node cluster run — lockstep
+// merge, dispatch, admission, retirement — under each dispatch policy on a
+// shared pre-generated stream. The interesting columns are the relative
+// cost of the policies (least-loaded recomputes per-app backlogs on every
+// pick) and the allocation count of the cluster layer itself.
+func BenchmarkClusterDispatch(b *testing.B) {
+	tr := testTrace(b, 40000, 17)
+	for _, kind := range Kinds() {
+		b.Run(string(kind), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d, err := NewDispatcher(kind, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := Run(tr, testRunConfig(4, d))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Completed == 0 {
+					b.Fatal("benchmark stream completed nothing")
+				}
+			}
+			b.ReportMetric(float64(len(tr.Arrivals)), "requests")
+		})
+	}
+}
+
+// BenchmarkLockstepMerge isolates the cluster's merge overhead from the
+// simulation itself: the same stream on 1 node through the cluster layer
+// (lockstep loop + dispatcher + per-node accounts) vs progressively wider
+// fleets, all under round-robin.
+func BenchmarkLockstepMerge(b *testing.B) {
+	tr := testTrace(b, 40000, 17)
+	for _, nodes := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(tr, testRunConfig(nodes, NewRoundRobin())); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,376 @@
+// Package cluster lifts the simulator from one machine to a fleet: a Node
+// wraps one assembled system.System (its own event engine, context table and
+// SLO account) and a Cluster runs N nodes in deterministic lockstep, feeding
+// them one shared open-system arrival stream through a pluggable Dispatcher.
+//
+// The lockstep rule makes a cluster run a pure function of (trace, config):
+// the cluster repeatedly fires the globally earliest pending event across
+// all per-node engines, breaking timestamp ties by node index, and an
+// arrival due at time t is dispatched before any node event at t. No
+// goroutines are involved, so results are byte-identical on any machine and
+// at any experiment-grid worker count.
+//
+// The placement decision interacts with the per-GPU preemption mechanism: a
+// dispatcher that lets queues skew creates exactly the head-of-line blocking
+// preemption exists to fix, so the package ships several deterministic
+// policies (round-robin, join-shortest-queue, predicted-backlog least-loaded,
+// class-affinity, seeded power-of-two-choices) to sweep that axis.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/arrivals"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/preempt"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/system"
+	"repro/internal/trace"
+)
+
+// nodeSeedTag namespaces the per-node seed derivation, so node i's jitter
+// stream differs both from other nodes and from a single-machine run at the
+// same base seed.
+const nodeSeedTag = 0xC105
+
+// RunConfig parameterizes a cluster simulation.
+type RunConfig struct {
+	// Sys is the per-node machine configuration; every node is one replica
+	// of it. Each node derives its own jitter seed from Sys.Seed and its
+	// index. When Sys.ContextCapacity is zero it is sized to the arrival
+	// count so admission never fails on any placement.
+	Sys system.Config
+	// Nodes is the number of replicated machines (default 1).
+	Nodes int
+	// Dispatcher places each arrival on a node. Default: round-robin.
+	// Dispatchers are stateful; do not share one value across concurrent
+	// runs.
+	Dispatcher Dispatcher
+	// Policy builds each node's scheduling policy from the class count.
+	Policy func(nClasses int) core.Policy
+	// Mechanism builds each node's preemption mechanism (nil = none).
+	Mechanism func() core.Mechanism
+	// MaxSimTime aborts the simulation at this virtual time (0 = 120s).
+	MaxSimTime sim.Time
+	// MaxEvents aborts after this many events summed over all node engines
+	// (0 = 2e9).
+	MaxEvents uint64
+}
+
+func (rc *RunConfig) defaults() {
+	if rc.Nodes <= 0 {
+		rc.Nodes = 1
+	}
+	if rc.Dispatcher == nil {
+		rc.Dispatcher = NewRoundRobin()
+	}
+	if rc.MaxSimTime <= 0 {
+		rc.MaxSimTime = 120 * sim.Second
+	}
+	if rc.MaxEvents == 0 {
+		rc.MaxEvents = 2e9
+	}
+	if rc.Mechanism == nil {
+		rc.Mechanism = func() core.Mechanism { return preempt.None{} }
+	}
+}
+
+// Node is one machine of the cluster: an assembled system with its own event
+// engine, context table and streaming SLO account. Dispatchers read nodes
+// through the accessor methods; everything else is maintained by the Cluster.
+type Node struct {
+	// Index is the node's position in the cluster (the timestamp tie-break).
+	Index int
+	// Sys is the node's assembled machine.
+	Sys *system.System
+	// Acct is the node's per-class SLO accounting.
+	Acct *metrics.SLOAccount
+
+	admitted, finished int
+	inflightByApp      []int
+}
+
+// Admitted returns the number of requests dispatched to this node.
+func (n *Node) Admitted() int { return n.admitted }
+
+// Completed returns the number of requests that finished on this node.
+func (n *Node) Completed() int { return n.finished }
+
+// InFlight returns the node's outstanding request count (dispatched but not
+// completed) — the queue length join-shortest-queue minimizes.
+func (n *Node) InFlight() int { return n.admitted - n.finished }
+
+// InFlightByApp returns how many outstanding requests of the given
+// application index the node holds. Predictive dispatchers weigh these
+// counts by per-application service-time estimates.
+func (n *Node) InFlightByApp(app int) int { return n.inflightByApp[app] }
+
+// NodeResult reports one node's outcome.
+type NodeResult struct {
+	// Classes holds the node's per-class SLO accounting, in trace class
+	// order.
+	Classes []metrics.ClassSLO
+	// Admitted counts requests dispatched to the node; Completed counts
+	// requests that finished there; InFlight is the node's outstanding
+	// population at the end; Missed counts completed requests that blew
+	// their class deadline.
+	Admitted, Completed, InFlight, Missed int
+	// Utilization is the node's SM busy fraction over the cluster run.
+	Utilization float64
+	// Stats snapshots the node's execution-engine counters.
+	Stats core.Stats
+}
+
+// Result reports a completed cluster simulation: the fleet-wide rollup plus
+// every node's individual outcome.
+type Result struct {
+	// Dispatcher names the placement policy that produced this result.
+	Dispatcher string
+	// Nodes lists per-node outcomes, in node-index order.
+	Nodes []NodeResult
+	// Classes is the cluster rollup of the per-node SLO accounts (counters
+	// summed, latency sketches merged bucket-wise).
+	Classes []metrics.ClassSLO
+	// Admitted == Completed + InFlight across the fleet (conservation).
+	Admitted, Completed, InFlight, Missed int
+	// EndTime is the virtual time the simulation stopped.
+	EndTime sim.Time
+	// Utilization is the mean SM busy fraction across nodes.
+	Utilization float64
+	// Goodput is fleet-wide SLO-compliant completions per simulated second.
+	Goodput float64
+	// Stats sums the execution-engine counters over all nodes.
+	Stats core.Stats
+}
+
+// Cluster runs N nodes in deterministic lockstep over one arrival stream.
+// Build one with New and drive it with Run; a Cluster is single-use.
+type Cluster struct {
+	Nodes []*Node
+
+	tr                 *trace.ArrivalTrace
+	rc                 RunConfig
+	disp               Dispatcher
+	next               int // next undispatched arrival
+	admitted, finished int
+	now                sim.Time
+	err                error
+	ran                bool
+
+	// nextAt/hasNext cache each node engine's next event timestamp. Node
+	// engines are isolated — an event on node i can only schedule on node i,
+	// and a dispatch touches only the chosen node — so the lockstep loop
+	// refreshes exactly one entry per event instead of re-peeking every
+	// engine.
+	nextAt  []sim.Time
+	hasNext []bool
+}
+
+// refresh re-caches node i's next pending event time.
+func (c *Cluster) refresh(i int) {
+	c.nextAt[i], c.hasNext[i] = c.Nodes[i].Sys.Eng.Peek()
+}
+
+// New validates the configuration and assembles the cluster's nodes. Each
+// node gets its own policy and mechanism instance from the config's
+// factories and a jitter seed derived from its index.
+func New(tr *trace.ArrivalTrace, rc RunConfig) (*Cluster, error) {
+	rc.defaults()
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if rc.Nodes > MaxNodes {
+		return nil, fmt.Errorf("cluster: node count %d out of range [1, %d]", rc.Nodes, MaxNodes)
+	}
+	if rc.Policy == nil {
+		return nil, fmt.Errorf("cluster: no policy factory")
+	}
+	c := &Cluster{tr: tr, rc: rc, disp: rc.Dispatcher}
+	for i := 0; i < rc.Nodes; i++ {
+		sysCfg := rc.Sys
+		if sysCfg.ContextCapacity <= 0 {
+			sysCfg.ContextCapacity = arrivals.ContextCapacityFor(tr)
+		}
+		sysCfg.Seed = rng.SeedFrom(rc.Sys.Seed, nodeSeedTag, uint64(i))
+		sys, err := system.New(sysCfg, rc.Policy(len(tr.Classes)), rc.Mechanism())
+		if err != nil {
+			return nil, fmt.Errorf("cluster: building node %d: %w", i, err)
+		}
+		c.Nodes = append(c.Nodes, &Node{
+			Index:         i,
+			Sys:           sys,
+			Acct:          metrics.NewSLOAccount(tr.Classes),
+			inflightByApp: make([]int, len(tr.Apps)),
+		})
+	}
+	c.nextAt = make([]sim.Time, rc.Nodes)
+	c.hasNext = make([]bool, rc.Nodes)
+	c.disp.Reset(rc.Nodes, len(tr.Classes), len(tr.Apps))
+	return c, nil
+}
+
+// Run simulates the arrival stream across the configured nodes and reports
+// per-node plus rolled-up SLO metrics. The simulation stops when every
+// dispatched request has completed (or at MaxSimTime / MaxEvents, leaving
+// the remainder in flight).
+func Run(tr *trace.ArrivalTrace, rc RunConfig) (*Result, error) {
+	c, err := New(tr, rc)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run()
+}
+
+// Run drives the lockstep loop to completion and assembles the result.
+func (c *Cluster) Run() (*Result, error) {
+	if c.ran {
+		return nil, fmt.Errorf("cluster: Run called twice (a Cluster is single-use)")
+	}
+	c.ran = true
+	if err := c.loop(); err != nil {
+		return nil, err
+	}
+	return c.result()
+}
+
+// loop is the deterministic lockstep core: fire the globally earliest
+// pending event across arrival stream and node engines; arrivals win
+// timestamp ties against node events, node events tie-break by node index.
+func (c *Cluster) loop() error {
+	var processed uint64
+	for c.err == nil {
+		if processed >= c.rc.MaxEvents {
+			// Like the single-machine event watchdog: stop, keep what ran.
+			break
+		}
+		hasA := c.next < len(c.tr.Arrivals)
+		var tA sim.Time
+		if hasA {
+			tA = c.tr.Arrivals[c.next].At
+		}
+		ni := -1
+		var tN sim.Time
+		for i := range c.Nodes {
+			if c.hasNext[i] && (ni < 0 || c.nextAt[i] < tN) {
+				tN, ni = c.nextAt[i], i
+			}
+		}
+		switch {
+		case hasA && (ni < 0 || tA <= tN):
+			// The dispatcher decides with every node event before tA already
+			// processed; node events at exactly tA are still pending, so a
+			// completion at the arrival's own timestamp is not yet visible.
+			if tA > c.rc.MaxSimTime {
+				c.now = c.rc.MaxSimTime
+				return c.err
+			}
+			c.dispatch(c.next)
+			c.next++
+		case ni >= 0:
+			if tN > c.rc.MaxSimTime {
+				c.now = c.rc.MaxSimTime
+				return c.err
+			}
+			c.now = tN
+			c.Nodes[ni].Sys.Eng.Step()
+			c.refresh(ni)
+			processed++
+			if c.next == len(c.tr.Arrivals) && c.finished == c.admitted {
+				return c.err
+			}
+		default:
+			return c.err
+		}
+	}
+	return c.err
+}
+
+// dispatch places arrival i on a node. The dispatcher-visible counters move
+// immediately so a later arrival at the same timestamp already sees this
+// request; the engine-side admission (context allocation, process start)
+// fires as a node event at the arrival time, when the node's clock is right.
+func (c *Cluster) dispatch(i int) {
+	a := &c.tr.Arrivals[i]
+	ni := c.disp.Pick(a.At, a.Class, a.App, c.Nodes)
+	if ni < 0 || ni >= len(c.Nodes) {
+		c.fail(fmt.Errorf("cluster: dispatcher %s picked node %d of %d for request %d",
+			c.disp.Name(), ni, len(c.Nodes), i))
+		return
+	}
+	n := c.Nodes[ni]
+	n.admitted++
+	c.admitted++
+	n.inflightByApp[a.App]++
+	n.Acct.Admit(a.Class)
+	c.disp.Dispatched(ni, a.Class, a.App)
+	n.Sys.Eng.At(a.At, func() { c.admit(n, i) })
+	c.refresh(ni)
+}
+
+// admit runs on the owning node's engine at the arrival time: the shared
+// open-system admission protocol (arrivals.AdmitRequest) places a fresh
+// context and process on this node, and completion retires them here — on
+// the owning node — before the cluster and dispatcher bookkeeping updates.
+func (c *Cluster) admit(n *Node, i int) {
+	class, app := c.tr.Arrivals[i].Class, c.tr.Arrivals[i].App
+	err := arrivals.AdmitRequest(n.Sys, n.Acct, c.tr, i, func(exec sim.Time) {
+		n.finished++
+		c.finished++
+		n.inflightByApp[app]--
+		c.disp.Completed(n.Index, class, app, exec)
+	})
+	if err != nil {
+		c.fail(fmt.Errorf("cluster: admitting request %d on node %d: %w", i, n.Index, err))
+	}
+}
+
+func (c *Cluster) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+// result rolls the per-node accounts up into the fleet-wide report and
+// cross-checks the conservation identity.
+func (c *Cluster) result() (*Result, error) {
+	out := &Result{Dispatcher: c.disp.Name(), EndTime: c.now}
+	rollup := metrics.NewSLOAccount(c.tr.Classes)
+	var admitted, finished int
+	for _, n := range c.Nodes {
+		adm, done, missed := n.Acct.Totals()
+		if adm != n.admitted || done != n.finished {
+			panic(fmt.Sprintf("cluster: node %d accounting drift: %d/%d admitted, %d/%d completed",
+				n.Index, adm, n.admitted, done, n.finished))
+		}
+		admitted += adm
+		finished += done
+		util := n.Sys.Exec.Utilization(out.EndTime)
+		out.Nodes = append(out.Nodes, NodeResult{
+			Classes:     n.Acct.Classes,
+			Admitted:    adm,
+			Completed:   done,
+			InFlight:    adm - done,
+			Missed:      missed,
+			Utilization: util,
+			Stats:       n.Sys.Exec.Stats(),
+		})
+		out.Utilization += util
+		if err := rollup.Merge(n.Acct); err != nil {
+			return nil, err
+		}
+		out.Stats.Accumulate(n.Sys.Exec.Stats())
+	}
+	if admitted != c.admitted || finished != c.finished {
+		panic(fmt.Sprintf("cluster: accounting drift: %d/%d admitted, %d/%d completed",
+			admitted, c.admitted, finished, c.finished))
+	}
+	out.Utilization /= float64(len(c.Nodes))
+	out.Classes = rollup.Classes
+	adm, done, missed := rollup.Totals()
+	out.Admitted, out.Completed, out.Missed = adm, done, missed
+	out.InFlight = adm - done
+	out.Goodput = rollup.Goodput(out.EndTime)
+	return out, nil
+}

@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MaxNodes bounds the topology size: a guard against nonsense
+// configurations, not a simulator limit.
+const MaxNodes = 1024
+
+// Config is a serializable cluster topology: how many replicated machines,
+// which dispatch policy feeds them, and optional per-node overrides. CLIs
+// load it from JSON (gpusim -cluster) as an alternative to spelling the
+// topology out in flags.
+type Config struct {
+	// Nodes is the number of replicated machines (1..MaxNodes).
+	Nodes int `json:"nodes"`
+	// Dispatch names the placement policy (see Kinds; empty = round-robin).
+	Dispatch Kind `json:"dispatch,omitempty"`
+	// Seed drives randomized dispatch policies (p2c); 0 = 1.
+	Seed uint64 `json:"seed,omitempty"`
+	// ContextCapacity overrides each node's context-table capacity
+	// (0 = sized to the arrival count, as in RunConfig.Sys).
+	ContextCapacity int `json:"context_capacity,omitempty"`
+}
+
+// Validate checks the topology: node count in range and a known dispatch
+// policy.
+func (c Config) Validate() error {
+	if c.Nodes < 1 || c.Nodes > MaxNodes {
+		return fmt.Errorf("cluster: node count %d out of range [1, %d]", c.Nodes, MaxNodes)
+	}
+	if c.ContextCapacity < 0 {
+		return fmt.Errorf("cluster: negative context capacity %d", c.ContextCapacity)
+	}
+	if _, err := NewDispatcher(c.Dispatch, 1); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Dispatcher builds the topology's dispatch policy. The config must have
+// been validated.
+func (c Config) Dispatcher() (Dispatcher, error) {
+	return NewDispatcher(c.Dispatch, c.Seed)
+}
+
+// ReadConfig parses and validates a cluster topology from JSON.
+func ReadConfig(r io.Reader) (Config, error) {
+	var c Config
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("cluster: decoding topology: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// WriteJSON serializes the topology as indented JSON.
+func (c Config) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}

@@ -1,0 +1,288 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/predict"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Kind names a built-in dispatch policy.
+type Kind string
+
+// Built-in dispatch policies.
+const (
+	// KindRoundRobin cycles through the nodes in index order, ignoring
+	// load — the baseline every smarter policy is measured against.
+	KindRoundRobin Kind = "round-robin"
+	// KindJSQ joins the shortest queue: the node with the fewest
+	// outstanding requests, ties to the lowest index.
+	KindJSQ Kind = "jsq"
+	// KindLeastLoaded minimizes predicted backlog: each node's outstanding
+	// requests are weighted by an online per-application service-time
+	// estimate (EWMA over observed execution times), so one long batch
+	// request counts for more than several short probes.
+	KindLeastLoaded Kind = "least-loaded"
+	// KindClassAffinity pins each service class to a node subset (indices
+	// congruent to the class modulo min(classes, nodes)) and joins the
+	// shortest queue within the subset — cache/working-set affinity at the
+	// cost of cross-subset imbalance.
+	KindClassAffinity Kind = "class-affinity"
+	// KindPowerOfTwo samples two nodes with a seeded deterministic RNG and
+	// joins the shorter queue of the two (Mitzenmacher's power of two
+	// choices) — near-JSQ balance from O(1) state probes.
+	KindPowerOfTwo Kind = "p2c"
+)
+
+// Kinds lists the built-in dispatch policies in report order.
+func Kinds() []Kind {
+	return []Kind{KindRoundRobin, KindJSQ, KindLeastLoaded, KindClassAffinity, KindPowerOfTwo}
+}
+
+// Dispatcher places arrivals on nodes. Implementations must be
+// deterministic: Pick may depend only on the dispatcher's own state, its
+// seed, and the node views passed in, never on wall-clock time or map
+// iteration order. A Dispatcher is stateful and single-goroutine; build one
+// per cluster run.
+type Dispatcher interface {
+	// Name labels the policy in results and tables.
+	Name() string
+	// Reset reinitializes internal state for a cluster of the given shape.
+	// The cluster calls it once before the first arrival.
+	Reset(nodes, classes, apps int)
+	// Pick returns the node index for a request of the given class and
+	// application arriving at the given time. Nodes reflect every event
+	// strictly before at, plus all same-timestamp arrivals already placed.
+	Pick(at sim.Time, class, app int, nodes []*Node) int
+	// Dispatched observes a placement (including this dispatcher's own),
+	// for policies that track load themselves.
+	Dispatched(node, class, app int)
+	// Completed observes a request finishing on a node with the given
+	// observed execution time (first issue to completion).
+	Completed(node, class, app int, exec sim.Time)
+}
+
+// NewDispatcher builds a built-in dispatch policy. The seed drives any
+// randomness the policy uses (only p2c today); deterministic policies ignore
+// it.
+func NewDispatcher(kind Kind, seed uint64) (Dispatcher, error) {
+	switch kind {
+	case KindRoundRobin, "":
+		return NewRoundRobin(), nil
+	case KindJSQ:
+		return NewJSQ(), nil
+	case KindLeastLoaded:
+		return NewLeastLoaded(), nil
+	case KindClassAffinity:
+		return NewClassAffinity(), nil
+	case KindPowerOfTwo:
+		return NewPowerOfTwo(seed), nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown dispatch policy %q", kind)
+	}
+}
+
+// noopHooks is embedded by policies that do not track load themselves.
+type noopHooks struct{}
+
+func (noopHooks) Dispatched(node, class, app int)            {}
+func (noopHooks) Completed(node, class, app int, t sim.Time) {}
+
+// shortestQueue returns the index of the minimum-InFlight node among the
+// given indices (ties to the lowest index). idx == nil scans all nodes.
+func shortestQueue(nodes []*Node, idx []int) int {
+	best, bestLoad := -1, 0
+	consider := func(i int) {
+		if l := nodes[i].InFlight(); best < 0 || l < bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	if idx == nil {
+		for i := range nodes {
+			consider(i)
+		}
+	} else {
+		for _, i := range idx {
+			consider(i)
+		}
+	}
+	return best
+}
+
+// --- round-robin -----------------------------------------------------------
+
+type roundRobin struct {
+	noopHooks
+	next int
+}
+
+// NewRoundRobin returns the cycling baseline dispatcher.
+func NewRoundRobin() Dispatcher { return &roundRobin{} }
+
+func (d *roundRobin) Name() string                   { return string(KindRoundRobin) }
+func (d *roundRobin) Reset(nodes, classes, apps int) { d.next = 0 }
+
+func (d *roundRobin) Pick(at sim.Time, class, app int, nodes []*Node) int {
+	i := d.next % len(nodes)
+	d.next++
+	return i
+}
+
+// --- join-shortest-queue ---------------------------------------------------
+
+type jsq struct{ noopHooks }
+
+// NewJSQ returns the join-shortest-queue dispatcher.
+func NewJSQ() Dispatcher { return jsq{} }
+
+func (jsq) Name() string                   { return string(KindJSQ) }
+func (jsq) Reset(nodes, classes, apps int) {}
+
+func (jsq) Pick(at sim.Time, class, app int, nodes []*Node) int {
+	return shortestQueue(nodes, nil)
+}
+
+// --- least-loaded (predicted backlog) --------------------------------------
+
+// leastLoadedAlpha is the service-time EWMA smoothing factor: new samples
+// carry a quarter of the weight, matching the adaptive preemption
+// mechanism's estimator regime.
+const leastLoadedAlpha = 0.25
+
+// estAllApps is the estimator's catch-all key: a fleet-wide EWMA over every
+// completion, used as the prior for applications never seen before.
+const estAllApps = -1
+
+type leastLoaded struct {
+	est *predict.EWMA[int]
+	// weights is Pick's per-arrival scratch of per-app backlog weights;
+	// they depend only on the app, so they are computed once per Pick
+	// instead of once per (node, app).
+	weights []float64
+}
+
+// NewLeastLoaded returns the predicted-backlog dispatcher. Until the first
+// completion is observed every request weighs the same, so it starts out as
+// join-shortest-queue and sharpens as estimates arrive.
+func NewLeastLoaded() Dispatcher { return &leastLoaded{} }
+
+func (d *leastLoaded) Name() string { return string(KindLeastLoaded) }
+
+func (d *leastLoaded) Reset(nodes, classes, apps int) {
+	d.est = predict.NewEWMA[int](leastLoadedAlpha)
+	d.weights = make([]float64, apps)
+}
+
+func (d *leastLoaded) Dispatched(node, class, app int) {}
+
+func (d *leastLoaded) Completed(node, class, app int, exec sim.Time) {
+	d.est.Observe(app, float64(exec))
+	d.est.Observe(estAllApps, float64(exec))
+}
+
+// weight returns the backlog contribution of one outstanding request of the
+// given application: its estimated service time, the fleet-wide prior for
+// unseen applications, or 1 (plain queue counting) before any completion.
+func (d *leastLoaded) weight(app int) float64 {
+	if w, ok := d.est.Predict(app); ok {
+		return w
+	}
+	if w, ok := d.est.Predict(estAllApps); ok {
+		return w
+	}
+	return 1
+}
+
+func (d *leastLoaded) Pick(at sim.Time, class, app int, nodes []*Node) int {
+	for a := range d.weights {
+		d.weights[a] = d.weight(a)
+	}
+	best, bestLoad := -1, 0.0
+	for i, n := range nodes {
+		var load float64
+		for a, c := range n.inflightByApp {
+			if c > 0 {
+				load += float64(c) * d.weights[a]
+			}
+		}
+		if best < 0 || load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	return best
+}
+
+// --- class-affinity --------------------------------------------------------
+
+type classAffinity struct {
+	noopHooks
+	stride  int
+	subsets [][]int // class (mod stride) -> node indices
+}
+
+// NewClassAffinity returns the class-pinning dispatcher.
+func NewClassAffinity() Dispatcher { return &classAffinity{} }
+
+func (d *classAffinity) Name() string { return string(KindClassAffinity) }
+
+func (d *classAffinity) Reset(nodes, classes, apps int) {
+	d.stride = classes
+	if nodes < d.stride {
+		d.stride = nodes
+	}
+	if d.stride < 1 {
+		d.stride = 1
+	}
+	d.subsets = make([][]int, d.stride)
+	for i := 0; i < nodes; i++ {
+		s := i % d.stride
+		d.subsets[s] = append(d.subsets[s], i)
+	}
+}
+
+func (d *classAffinity) Pick(at sim.Time, class, app int, nodes []*Node) int {
+	return shortestQueue(nodes, d.subsets[class%d.stride])
+}
+
+// --- power of two choices --------------------------------------------------
+
+type powerOfTwo struct {
+	noopHooks
+	seed uint64
+	r    *rng.Source
+}
+
+// NewPowerOfTwo returns the seeded two-choices dispatcher: sample two nodes,
+// join the shorter queue. The same seed always reproduces the same sample
+// sequence, so runs stay byte-identical.
+func NewPowerOfTwo(seed uint64) Dispatcher {
+	if seed == 0 {
+		seed = 1
+	}
+	return &powerOfTwo{seed: seed}
+}
+
+func (d *powerOfTwo) Name() string { return string(KindPowerOfTwo) }
+
+func (d *powerOfTwo) Reset(nodes, classes, apps int) { d.r = rng.New(d.seed) }
+
+func (d *powerOfTwo) Pick(at sim.Time, class, app int, nodes []*Node) int {
+	if len(nodes) == 1 {
+		return 0
+	}
+	a := d.r.Intn(len(nodes))
+	b := d.r.Intn(len(nodes))
+	if a == b {
+		return a
+	}
+	// Prefer the shorter queue; on equal queues keep the lower index, so
+	// the choice never depends on sample order.
+	if b < a {
+		a, b = b, a
+	}
+	if nodes[b].InFlight() < nodes[a].InFlight() {
+		return b
+	}
+	return a
+}

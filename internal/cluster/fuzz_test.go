@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadClusterConfig fuzzes the topology JSON decoder: whatever the
+// input, the decoder must never panic, and an accepted topology must
+// validate, round-trip through WriteJSON, and build its dispatcher.
+func FuzzReadClusterConfig(f *testing.F) {
+	f.Add(`{"nodes": 4, "dispatch": "jsq"}`)
+	f.Add(`{"nodes": 1}`)
+	f.Add(`{"nodes": 8, "dispatch": "p2c", "seed": 42, "context_capacity": 16}`)
+	f.Add(`{"nodes": 0}`)
+	f.Add(`{"nodes": -3, "dispatch": "round-robin"}`)
+	f.Add(`{"nodes": 2, "dispatch": "no-such-policy"}`)
+	f.Add(`{"nodes": 1e9}`)
+	f.Add(`null`)
+	f.Add(`{}`)
+	f.Add(`{"nodes": 2, "unknown_field": true}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		c, err := ReadConfig(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("accepted topology fails validation: %v\ninput: %s", err, data)
+		}
+		if _, err := c.Dispatcher(); err != nil {
+			t.Fatalf("accepted topology cannot build its dispatcher: %v\ninput: %s", err, data)
+		}
+		var buf bytes.Buffer
+		if err := c.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted topology does not serialize: %v", err)
+		}
+		rt, err := ReadConfig(&buf)
+		if err != nil {
+			t.Fatalf("round-trip rejected: %v\njson: %s", err, buf.String())
+		}
+		if rt != c {
+			t.Fatalf("round-trip changed the topology: %+v vs %+v", rt, c)
+		}
+	})
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/preempt"
+	"repro/internal/sim"
+)
+
+// TestPropertyConservationAndDeterminism sweeps the cluster axes — every
+// dispatch policy, all four preemption mechanisms, node counts 1/2/4, and
+// loads from comfortable to overloaded (tight watchdog, requests left in
+// flight) — and checks, for each combination:
+//
+//   - conservation: admitted = completed + in-flight both per node and
+//     summed across nodes, the per-node sums equal the cluster rollup, and
+//     every latency sketch holds exactly one sample per completion;
+//   - determinism: re-running the identical stream through a fresh cluster
+//     (fresh dispatcher included) yields a deeply equal Result — counters,
+//     merged quantile sketches, utilization bits.
+func TestPropertyConservationAndDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized cluster sweep in -short mode")
+	}
+	mechs := []struct {
+		name string
+		mk   func() core.Mechanism
+	}{
+		{"drain", func() core.Mechanism { return preempt.Drain{} }},
+		{"context-switch", func() core.Mechanism { return preempt.ContextSwitch{} }},
+		{"flush", func() core.Mechanism { return preempt.Flush{} }},
+		{"adaptive", func() core.Mechanism { return preempt.NewAdaptive() }},
+	}
+	kinds := Kinds()
+	nodeCounts := []int{1, 2, 4}
+
+	// One stream per load regime, shared across the whole cross product so
+	// the sweep's cost is simulation, not generation.
+	served := testTrace(t, 30000, 100)
+	overload := testTrace(t, 90000, 101)
+
+	trial := 0
+	for ki, kind := range kinds {
+		for _, nodes := range nodeCounts {
+			for _, mech := range mechs {
+				// Alternate between a served load that completes and an
+				// overload cut off by the watchdog, so the conservation
+				// identity is exercised with a non-zero in-flight remainder.
+				tr := served
+				var maxT sim.Time
+				if trial%2 == 1 {
+					tr = overload
+					maxT = 2 * sim.Millisecond
+				}
+
+				mk := func() Dispatcher {
+					d, err := NewDispatcher(kind, uint64(ki+1))
+					if err != nil {
+						t.Fatal(err)
+					}
+					return d
+				}
+				rc := testRunConfig(nodes, mk())
+				rc.Mechanism = mech.mk
+				rc.MaxSimTime = maxT
+
+				res, err := Run(tr, rc)
+				if err != nil {
+					t.Fatalf("%s/%d nodes/%s: %v", kind, nodes, mech.name, err)
+				}
+				if res.Admitted != res.Completed+res.InFlight {
+					t.Errorf("%s/%d/%s: conservation violated: %d != %d + %d",
+						kind, nodes, mech.name, res.Admitted, res.Completed, res.InFlight)
+				}
+				var adm, done, missed int
+				for i, n := range res.Nodes {
+					adm += n.Admitted
+					done += n.Completed
+					missed += n.Missed
+					if n.Admitted != n.Completed+n.InFlight {
+						t.Errorf("%s/%d/%s: node %d conservation violated: %d != %d + %d",
+							kind, nodes, mech.name, i, n.Admitted, n.Completed, n.InFlight)
+					}
+					for ci := range n.Classes {
+						c := &n.Classes[ci]
+						if c.Latency.N() != uint64(c.Completed) {
+							t.Errorf("%s/%d/%s: node %d class %s has %d latency samples for %d completions",
+								kind, nodes, mech.name, i, c.Name, c.Latency.N(), c.Completed)
+						}
+						if c.Wait.N() > uint64(c.Admitted) {
+							t.Errorf("%s/%d/%s: node %d class %s has more wait samples than admissions",
+								kind, nodes, mech.name, i, c.Name)
+						}
+					}
+				}
+				if adm != res.Admitted || done != res.Completed || missed != res.Missed {
+					t.Errorf("%s/%d/%s: node sums (%d/%d/%d) disagree with rollup (%d/%d/%d)",
+						kind, nodes, mech.name, adm, done, missed, res.Admitted, res.Completed, res.Missed)
+				}
+				for ci := range res.Classes {
+					c := &res.Classes[ci]
+					if c.Latency.N() != uint64(c.Completed) {
+						t.Errorf("%s/%d/%s: rollup class %s has %d latency samples for %d completions",
+							kind, nodes, mech.name, c.Name, c.Latency.N(), c.Completed)
+					}
+				}
+
+				rc2 := testRunConfig(nodes, mk())
+				rc2.Mechanism = mech.mk
+				rc2.MaxSimTime = maxT
+				again, err := Run(tr, rc2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(res, again) {
+					t.Errorf("%s/%d nodes/%s: re-run diverged", kind, nodes, mech.name)
+				}
+				trial++
+			}
+		}
+	}
+}

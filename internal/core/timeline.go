@@ -204,3 +204,37 @@ type Stats struct {
 	MaxActive         int
 	SaveAreaFailures  int
 }
+
+// Accumulate folds another engine's counters into s — the cluster layer
+// rolls per-node stats up into a fleet total with it. Counters and times
+// add; MaxPTBQ and MaxActive are high-water marks, so they take the max.
+// Keep this in sync when adding a field to Stats.
+func (s *Stats) Accumulate(o Stats) {
+	s.KernelsSubmitted += o.KernelsSubmitted
+	s.KernelsActivated += o.KernelsActivated
+	s.KernelsFinished += o.KernelsFinished
+	s.TBsIssued += o.TBsIssued
+	s.TBsCompleted += o.TBsCompleted
+	s.TBsPreempted += o.TBsPreempted
+	s.TBsRestored += o.TBsRestored
+	s.TBsFlushed += o.TBsFlushed
+	s.TBsRestarted += o.TBsRestarted
+	s.Preemptions += o.Preemptions
+	s.PreemptionsDone += o.PreemptionsDone
+	s.ContextSavedBytes += o.ContextSavedBytes
+	s.ContextRestored += o.ContextRestored
+	s.SaveTime += o.SaveTime
+	s.RestoreTime += o.RestoreTime
+	s.DrainTime += o.DrainTime
+	s.WastedWork += o.WastedWork
+	s.PreemptLatency += o.PreemptLatency
+	s.SetupTime += o.SetupTime
+	s.SMBusyTime += o.SMBusyTime
+	if o.MaxPTBQ > s.MaxPTBQ {
+		s.MaxPTBQ = o.MaxPTBQ
+	}
+	if o.MaxActive > s.MaxActive {
+		s.MaxActive = o.MaxActive
+	}
+	s.SaveAreaFailures += o.SaveAreaFailures
+}

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/cluster"
 )
 
 // update rewrites the golden files instead of comparing against them:
@@ -122,6 +124,12 @@ func TestGoldenTables(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkGolden(t, "load", load.Table().Render())
+
+	clu, err := goldenCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "cluster", clu.Table().Render())
 }
 
 // goldenLoad memoizes the load sweep at the golden options, so the golden
@@ -159,6 +167,51 @@ func TestLoadAdaptiveBeatsDrainingAtPeak(t *testing.T) {
 	if adaptive.RTMissRate >= drain.RTMissRate {
 		t.Errorf("adaptive rt miss rate %.3f not strictly below draining %.3f at peak load %v/s",
 			adaptive.RTMissRate, drain.RTMissRate, peak)
+	}
+}
+
+// goldenCluster memoizes the cluster sweep at the golden options, shared
+// between the golden comparison and the fleet-scaling property test.
+var goldenCluster = sync.OnceValues(func() (*ClusterResult, error) {
+	return RunCluster(goldenOpts(), nil)
+})
+
+// TestClusterFourJSQBeatsSingleGPU pins the headline fleet-scaling result:
+// at an offered load that overloads one machine, 4 GPUs behind
+// join-shortest-queue miss strictly fewer rt-class deadlines than a single
+// GPU under ANY preemption mechanism — adding GPUs (with sane placement)
+// beats upgrading the mechanism once the machine saturates.
+func TestClusterFourJSQBeatsSingleGPU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster sweep in -short mode")
+	}
+	clu, err := goldenCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestSingle := 1.0
+	for _, mech := range MechLabels {
+		row, ok := clu.Row(1, SingleGPUDispatch, mech)
+		if !ok {
+			t.Fatalf("missing 1-GPU row for %s", mech)
+		}
+		if row.RTMissRate == 0 {
+			t.Fatalf("offered load %v/s does not stress one GPU under %s (zero misses): the sweep is miscalibrated",
+				clu.RatePerSec, mech)
+		}
+		if row.RTMissRate < bestSingle {
+			bestSingle = row.RTMissRate
+		}
+	}
+	for _, mech := range MechLabels {
+		row, ok := clu.Row(4, string(cluster.KindJSQ), mech)
+		if !ok {
+			t.Fatalf("missing 4-GPU jsq row for %s", mech)
+		}
+		if row.RTMissRate >= bestSingle {
+			t.Errorf("4 GPUs + jsq + %s rt miss rate %.3f not strictly below the best single-GPU rate %.3f",
+				mech, row.RTMissRate, bestSingle)
+		}
 	}
 }
 

@@ -9,7 +9,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/pcie"
 	"repro/internal/policy"
-	"repro/internal/preempt"
 	"repro/internal/rng"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -139,16 +138,7 @@ func RunLoad(o Options, rates []float64) (*LoadResult, error) {
 	}
 	classes := loadClasses(h.Suite)
 
-	type mechConf struct {
-		label string
-		mk    func() core.Mechanism
-	}
-	confs := []mechConf{
-		{MechDraining, func() core.Mechanism { return preempt.Drain{} }},
-		{MechContextSwitch, func() core.Mechanism { return preempt.ContextSwitch{} }},
-		{MechFlush, func() core.Mechanism { return preempt.Flush{} }},
-		{MechAdaptive, func() core.Mechanism { return preempt.NewAdaptive() }},
-	}
+	confs := mechConfs()
 
 	type loadJob struct {
 		rate float64

@@ -25,6 +25,24 @@ const (
 // MechLabels lists the swept mechanisms in report order.
 var MechLabels = []string{MechDraining, MechContextSwitch, MechFlush, MechAdaptive}
 
+// mechConf pairs a mechanism label with its factory.
+type mechConf struct {
+	label string
+	mk    func() core.Mechanism
+}
+
+// mechConfs returns the four swept preemption mechanisms in report order —
+// the single label-to-factory table behind the mechanisms, load and cluster
+// grids, so adding a mechanism reaches every sweep at once.
+func mechConfs() []mechConf {
+	return []mechConf{
+		{MechDraining, func() core.Mechanism { return preempt.Drain{} }},
+		{MechContextSwitch, func() core.Mechanism { return preempt.ContextSwitch{} }},
+		{MechFlush, func() core.Mechanism { return preempt.Flush{} }},
+		{MechAdaptive, func() core.Mechanism { return preempt.NewAdaptive() }},
+	}
+}
+
 // mechPairings are the Parboil pairings the mechanisms grid sweeps: the
 // first benchmark is the high-priority process whose arrival preempts the
 // second (the victim). The fixed pairings span the victim space — short
@@ -114,24 +132,21 @@ func RunMechanisms(o Options) (*MechanismsResult, error) {
 	h := NewHarness(o)
 	o = h.Opts
 
-	type mechConf struct {
-		label string
-		mk    func() core.Mechanism
-	}
 	// The adaptive instances are captured per pairing so the decision mix
 	// can be reported; each slot is written by exactly one job.
 	adaptives := make([]*preempt.Adaptive, len(mechPairings))
 	confs := func(pi int) []mechConf {
-		return []mechConf{
-			{MechDraining, func() core.Mechanism { return preempt.Drain{} }},
-			{MechContextSwitch, func() core.Mechanism { return preempt.ContextSwitch{} }},
-			{MechFlush, func() core.Mechanism { return preempt.Flush{} }},
-			{MechAdaptive, func() core.Mechanism {
-				a := preempt.NewAdaptive()
-				adaptives[pi] = a
-				return a
-			}},
+		cs := mechConfs()
+		for i := range cs {
+			if cs[i].label == MechAdaptive {
+				cs[i].mk = func() core.Mechanism {
+					a := preempt.NewAdaptive()
+					adaptives[pi] = a
+					return a
+				}
+			}
 		}
+		return cs
 	}
 
 	byName := make(map[string]int, len(h.Suite))

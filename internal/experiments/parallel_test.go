@@ -79,6 +79,32 @@ func TestLoadDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestClusterDeterministicAcrossWorkerCounts pins the cluster sweep's
+// determinism against the committed golden: the lockstep merge plus
+// per-cell dispatcher construction makes every cell a pure function of the
+// shared stream, so the full golden grid — merged quantile sketches, miss
+// rates, mean utilizations — is byte-identical to testdata/cluster.golden
+// whether it ran on 1, 4 or 8 workers.
+func TestClusterDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster determinism sweep in -short mode")
+	}
+	if *update {
+		t.Skip("golden comparison is meaningless while rewriting goldens")
+	}
+	for _, workers := range []int{1, 4, 8} {
+		o := goldenOpts()
+		o.Workers = workers
+		r, err := RunCluster(o, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := compareGolden("cluster", r.Table().Render()); err != nil {
+			t.Errorf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
 // TestFig2DeterministicAcrossRuns covers the concurrently executed Figure 2
 // scenario: repeated runs at the same seed are identical.
 func TestFig2DeterministicAcrossRuns(t *testing.T) {
@@ -117,6 +143,9 @@ func TestGridCancellation(t *testing.T) {
 	}
 	if _, err := RunLoad(o, nil); !errors.Is(err, context.Canceled) {
 		t.Errorf("RunLoad err = %v, want context.Canceled", err)
+	}
+	if _, err := RunCluster(o, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunCluster err = %v, want context.Canceled", err)
 	}
 }
 

@@ -25,6 +25,13 @@ type Context struct {
 	PageTable *mmu.PageTable
 }
 
+// DefaultContextCapacity is the context-table capacity of an assembled
+// machine when the configuration leaves it unset: the number of processes a
+// single GPU can hold simultaneously. system.New and the cluster layer both
+// fall back to it; open-system runs override it with their arrival count so
+// admission never fails while retired contexts free their slots.
+const DefaultContextCapacity = 64
+
 // ContextTable is the execution engine's table of active contexts (§3.1).
 // The SM driver reads it during SM setup to install per-context state (the
 // context id and base page-table registers) into the SM.

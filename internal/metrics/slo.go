@@ -197,6 +197,29 @@ func (a *SLOAccount) Complete(class int, latency sim.Time) (missed bool) {
 	return false
 }
 
+// Merge folds another account into a, class by class: counters add and the
+// latency sketches merge bucket-wise. The cluster layer uses it to roll
+// per-node SLO accounts up into one fleet-wide account. Both accounts must
+// have been built from the same class table (same names, same order).
+func (a *SLOAccount) Merge(o *SLOAccount) error {
+	if len(a.Classes) != len(o.Classes) {
+		return fmt.Errorf("metrics: merging accounts with %d and %d classes", len(a.Classes), len(o.Classes))
+	}
+	for i := range a.Classes {
+		c, oc := &a.Classes[i], &o.Classes[i]
+		if c.Name != oc.Name || c.Deadline != oc.Deadline {
+			return fmt.Errorf("metrics: merging mismatched class %d: %s/%v vs %s/%v",
+				i, c.Name, c.Deadline, oc.Name, oc.Deadline)
+		}
+		c.Admitted += oc.Admitted
+		c.Completed += oc.Completed
+		c.Missed += oc.Missed
+		c.Wait.Merge(&oc.Wait)
+		c.Latency.Merge(&oc.Latency)
+	}
+	return nil
+}
+
 // Totals sums admitted, completed and missed over all classes.
 func (a *SLOAccount) Totals() (admitted, completed, missed int) {
 	for i := range a.Classes {

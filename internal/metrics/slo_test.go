@@ -146,3 +146,46 @@ func TestSLOAccount(t *testing.T) {
 		t.Errorf("consistent account failed validation: %v", err)
 	}
 }
+
+func TestSLOAccountMerge(t *testing.T) {
+	classes := []trace.ArrivalClass{
+		{Name: "rt", Deadline: 100},
+		{Name: "batch"},
+	}
+	a := NewSLOAccount(classes)
+	b := NewSLOAccount(classes)
+	a.Admit(0)
+	a.Issued(0, 10)
+	a.Complete(0, 50)
+	b.Admit(0)
+	b.Issued(0, 30)
+	b.Complete(0, 150) // miss
+	b.Admit(1)
+
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	adm, done, miss := a.Totals()
+	if adm != 3 || done != 2 || miss != 1 {
+		t.Errorf("merged totals = %d/%d/%d, want 3/2/1", adm, done, miss)
+	}
+	rt := &a.Classes[0]
+	if rt.Wait.N() != 2 || rt.Latency.N() != 2 {
+		t.Errorf("merged sketch counts = %d/%d, want 2/2", rt.Wait.N(), rt.Latency.N())
+	}
+	if got := rt.Latency.Quantile(1); got != 150 {
+		t.Errorf("merged max latency = %v, want 150", got)
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("merged account failed validation: %v", err)
+	}
+
+	// Mismatched class tables are rejected.
+	if err := a.Merge(NewSLOAccount(classes[:1])); err == nil {
+		t.Error("merge accepted an account with a different class count")
+	}
+	other := NewSLOAccount([]trace.ArrivalClass{{Name: "rt", Deadline: 7}, {Name: "batch"}})
+	if err := a.Merge(other); err == nil {
+		t.Error("merge accepted an account with a different class table")
+	}
+}

@@ -70,7 +70,7 @@ func (p *chaosPolicy) act(fw *core.Framework) {
 }
 
 func (p *chaosPolicy) OnActivated(fw *core.Framework, k core.KernelID) { p.act(fw) }
-func (p *chaosPolicy) OnSMIdle(fw *core.Framework, smID int)          { p.act(fw) }
+func (p *chaosPolicy) OnSMIdle(fw *core.Framework, smID int)           { p.act(fw) }
 
 // TestMechanismChaosConservation runs random preempt/issue sequences under
 // each of the four mechanisms and asserts the conservation invariants: no

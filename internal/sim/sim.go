@@ -415,6 +415,11 @@ func (e *Engine) RunUntil(t Time) error {
 	return nil
 }
 
+// Peek returns the timestamp of the next pending event without firing it.
+// The second result is false when no events remain. Lockstep drivers (the
+// cluster layer) use it to merge several engines by timestamp.
+func (e *Engine) Peek() (Time, bool) { return e.peek() }
+
 func (e *Engine) peek() (Time, bool) {
 	for len(e.heap) > 0 {
 		idx := e.heap[0]

@@ -30,9 +30,10 @@ type Config struct {
 	RecordTimeline bool
 	// ActiveLimit overrides the active-queue capacity (0 = NumSMs).
 	ActiveLimit int
-	// ContextCapacity overrides the GPU context-table capacity (0 = 64).
-	// Open-system runs size it to their arrival count so admission never
-	// fails while retired contexts free their slots.
+	// ContextCapacity overrides the GPU context-table capacity
+	// (0 = gpu.DefaultContextCapacity). Open-system runs size it to their
+	// arrival count so admission never fails while retired contexts free
+	// their slots.
 	ContextCapacity int
 }
 
@@ -86,7 +87,7 @@ func New(cfg Config, pol core.Policy, mech core.Mechanism) (*System, error) {
 	}
 	ctxCap := cfg.ContextCapacity
 	if ctxCap <= 0 {
-		ctxCap = 64
+		ctxCap = gpu.DefaultContextCapacity
 	}
 	return &System{
 		Eng:      eng,

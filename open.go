@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/arrivals"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -223,21 +224,26 @@ func RunOpen(o Options) (*OpenResult, error) {
 		Preemptions: res.Stats.PreemptionsDone,
 	}
 	for i := range res.Classes {
-		c := &res.Classes[i]
-		out.Classes = append(out.Classes, ClassReport{
-			Name:       c.Name,
-			Admitted:   c.Admitted,
-			Completed:  c.Completed,
-			InFlight:   c.InFlight(),
-			Missed:     c.Missed,
-			MissRate:   c.MissRate(),
-			WaitP50:    time.Duration(c.Wait.Quantile(0.50)),
-			WaitP95:    time.Duration(c.Wait.Quantile(0.95)),
-			WaitP99:    time.Duration(c.Wait.Quantile(0.99)),
-			LatencyP50: time.Duration(c.Latency.Quantile(0.50)),
-			LatencyP95: time.Duration(c.Latency.Quantile(0.95)),
-			LatencyP99: time.Duration(c.Latency.Quantile(0.99)),
-		})
+		out.Classes = append(out.Classes, classReport(&res.Classes[i]))
 	}
 	return out, nil
+}
+
+// classReport converts one class's internal SLO accounting to the public
+// report shape shared by RunOpen and RunCluster.
+func classReport(c *metrics.ClassSLO) ClassReport {
+	return ClassReport{
+		Name:       c.Name,
+		Admitted:   c.Admitted,
+		Completed:  c.Completed,
+		InFlight:   c.InFlight(),
+		Missed:     c.Missed,
+		MissRate:   c.MissRate(),
+		WaitP50:    time.Duration(c.Wait.Quantile(0.50)),
+		WaitP95:    time.Duration(c.Wait.Quantile(0.95)),
+		WaitP99:    time.Duration(c.Wait.Quantile(0.99)),
+		LatencyP50: time.Duration(c.Latency.Quantile(0.50)),
+		LatencyP95: time.Duration(c.Latency.Quantile(0.95)),
+		LatencyP99: time.Duration(c.Latency.Quantile(0.99)),
+	}
 }

@@ -176,8 +176,22 @@ type Options struct {
 	MPS bool
 	// Arrivals describes an open-system workload (dynamic request arrivals
 	// instead of a fixed co-scheduled set); it is consumed by RunOpen and
-	// ignored by Run/RunMany. See ArrivalSpec.
+	// RunCluster and ignored by Run/RunMany. See ArrivalSpec.
 	Arrivals *ArrivalSpec
+	// Nodes is the number of simulated GPUs for RunCluster (0 or 1 = one
+	// machine). Run/RunMany/RunOpen ignore it.
+	Nodes int
+	// Dispatch selects how RunCluster places each arrival on a node.
+	// Default DispatchRoundRobin.
+	Dispatch DispatchKind
+	// DispatchSeed drives randomized dispatch policies (DispatchPowerOfTwo)
+	// separately from the machine's jitter seed; 0 falls back to Seed.
+	DispatchSeed uint64
+	// ContextCapacity overrides each simulated GPU's context-table capacity
+	// (0 = the arrival count for open-system and cluster runs, so admission
+	// never fails; gpu.DefaultContextCapacity for closed workloads). A
+	// positive value makes over-admission a simulation error.
+	ContextCapacity int
 	// Parallel bounds the number of concurrently simulated workloads in
 	// RunMany (0 = runtime.NumCPU(), 1 = sequential). Run ignores it.
 	Parallel int
@@ -311,6 +325,7 @@ func (o Options) runConfig() (workload.RunConfig, error) {
 	sys.Seed = o.Seed
 	sys.Jitter = o.Jitter
 	sys.RecordTimeline = o.RecordTimeline
+	sys.ContextCapacity = o.ContextCapacity
 	if o.PriorityDMA {
 		sys.DMAPolicy = pcie.PriorityFCFS{}
 	}
