@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/sim"
 )
 
 // DispatchKind selects a cluster dispatch policy: how RunCluster places each
@@ -39,12 +40,82 @@ func DispatchKinds() []DispatchKind {
 	return out
 }
 
-// NodeReport is one simulated GPU's outcome in a cluster run.
+// ClusterNodeType describes one slice of a heterogeneous fleet: Count GPUs
+// sharing hardware overrides of the base machine. Zero-valued fields keep the
+// base value.
+type ClusterNodeType struct {
+	// Count is how many GPUs of this type the fleet starts with.
+	Count int
+	// SMs overrides the GPU's SM count (0 = base machine).
+	SMs int
+	// PCIeGen overrides the PCIe generation, 1..5; the base machine's
+	// bandwidth is generation 2 and each generation doubles it (0 = base).
+	PCIeGen int
+	// SlowFactor multiplies the type's service time (0 = nominal speed).
+	SlowFactor float64
+}
+
+// AutoscalePolicy configures RunCluster's step autoscaler: every Interval it
+// inspects the watched class's rolling window (completions since the last
+// tick) and the fleet backlog, scales up by Step when a high-water signal
+// fires, scales down by Step when the fleet idles below the low-water
+// backlog, and respects Cooldown between actions. A zero threshold disables
+// that signal.
+type AutoscalePolicy struct {
+	// Interval is the decision period. Default 250µs.
+	Interval time.Duration
+	// Cooldown is the minimum time between scale actions. Default Interval.
+	Cooldown time.Duration
+	// Min and Max bound the Up-GPU count. Defaults 1 and the cluster's
+	// MaxNodes.
+	Min, Max int
+	// Step is the GPU-count delta per action. Default 1.
+	Step int
+	// Class is the arrival-class index the latency thresholds watch.
+	Class int
+	// HighP99 scales up when the window completion-latency p99 exceeds it.
+	HighP99 time.Duration
+	// HighMiss scales up when the window deadline-miss fraction exceeds it.
+	HighMiss float64
+	// HighBacklog scales up when fleet in-flight exceeds it per Up GPU;
+	// LowBacklog scales down when fleet in-flight falls below it per Up GPU.
+	HighBacklog, LowBacklog int
+}
+
+// FaultPlan configures RunCluster's seeded fault injector: Poisson node
+// kills (in-flight requests are lost and re-dispatched, the node restarts
+// after Downtime), plus per-incarnation straggler draws.
+type FaultPlan struct {
+	// Seed drives the injector; 0 derives one from Options.Seed.
+	Seed uint64
+	// KillRate is the mean GPU kills per simulated second (0 = none).
+	KillRate float64
+	// Downtime is how long a killed GPU stays down. Default 500µs.
+	Downtime time.Duration
+	// StragglerFrac is the probability each GPU incarnation serves
+	// SlowFactor times slower (default factor 2).
+	StragglerFrac float64
+	SlowFactor    float64
+}
+
+// NodeReport is one simulated GPU slot's outcome in a cluster run.
 type NodeReport struct {
 	// Node is the GPU's index in the cluster.
 	Node int
-	// Admitted/Completed/InFlight/Missed are request counts on this GPU.
-	Admitted, Completed, InFlight, Missed int
+	// Admitted/Completed/Lost/InFlight/Missed are dispatch-attempt counts on
+	// this GPU (Lost counts attempts destroyed by kills of this GPU).
+	Admitted, Completed, Lost, InFlight, Missed int
+	// State is the GPU's lifecycle state at the end ("up", "draining",
+	// "down", "retired").
+	State string
+	// Incarnations counts the machines that occupied this slot (1 + kills
+	// survived).
+	Incarnations int
+	// TimeScale is the final incarnation's service-time multiplier (>1 =
+	// straggler or slow node type).
+	TimeScale float64
+	// UpTime is how long the slot was serving (Up or Draining).
+	UpTime time.Duration
 	// Utilization is this GPU's SM busy fraction.
 	Utilization float64
 	// Preemptions counts completed SM preemptions on this GPU.
@@ -56,35 +127,81 @@ type NodeReport struct {
 type ClusterResult struct {
 	// Dispatch is the placement policy that produced this result.
 	Dispatch DispatchKind
+	// Autoscale names the scaling policy ("" = fixed fleet).
+	Autoscale string
 	// Classes lists fleet-wide per-class outcomes in spec order (per-node
 	// counters summed, latency sketches merged).
 	Classes []ClassReport
 	// Nodes lists per-GPU outcomes in node order.
 	Nodes []NodeReport
-	// Admitted = Completed + InFlight across the fleet (conservation).
-	Admitted, Completed, InFlight, Missed int
+	// Admitted = Completed + Lost + InFlight across the fleet
+	// (conservation). A request re-dispatched after a kill is a new
+	// admission, so Admitted counts attempts.
+	Admitted, Completed, Lost, InFlight, Missed int
 	// EndTime is the virtual time the simulation stopped.
 	EndTime time.Duration
 	// Utilization is the mean SM busy fraction across GPUs.
 	Utilization float64
 	// Goodput is fleet-wide SLO-compliant completions per simulated second.
 	Goodput float64
+	// NodeSeconds is the capacity the run consumed: total serving GPU time
+	// in simulated seconds — the cost axis autoscaling trades against SLO
+	// attainment.
+	NodeSeconds float64
+	// LostWork is in-flight virtual time destroyed by kills.
+	LostWork time.Duration
+	// ScaleUps/Drains/Kills/Restarts count fleet control events.
+	ScaleUps, Drains, Kills, Restarts int
 	// Preemptions counts completed SM preemptions across the fleet.
 	Preemptions int
 }
 
-// ReadClusterTopology parses a cluster topology (GPU count, dispatch policy,
-// optional dispatch seed and per-node context capacity) from JSON and
-// applies the fields it carries to a copy of the options — the file-based
-// alternative to setting Options.Nodes and Options.Dispatch directly. The
-// node count is always applied (a topology must carry it); fields absent
-// from the file leave the corresponding options untouched.
+// lower converts the public autoscale policy to the internal step config.
+func (p *AutoscalePolicy) lower() cluster.StepConfig {
+	return cluster.StepConfig{
+		Interval:    sim.Time(p.Interval.Nanoseconds()),
+		Cooldown:    sim.Time(p.Cooldown.Nanoseconds()),
+		Min:         p.Min,
+		Max:         p.Max,
+		Step:        p.Step,
+		Class:       p.Class,
+		HighP99:     sim.Time(p.HighP99.Nanoseconds()),
+		HighMiss:    p.HighMiss,
+		HighBacklog: p.HighBacklog,
+		LowBacklog:  p.LowBacklog,
+	}
+}
+
+// lower converts the public fault plan to the internal spec.
+func (p *FaultPlan) lower() *cluster.FaultSpec {
+	return &cluster.FaultSpec{
+		Seed:          p.Seed,
+		KillRate:      p.KillRate,
+		Downtime:      sim.Time(p.Downtime.Nanoseconds()),
+		StragglerFrac: p.StragglerFrac,
+		SlowFactor:    p.SlowFactor,
+	}
+}
+
+// ReadClusterTopology parses a cluster topology (GPU count or heterogeneous
+// node types, dispatch policy, optional dispatch seed, per-node context
+// capacity, autoscale policy and fault plan) from JSON and applies the
+// fields it carries to a copy of the options — the file-based alternative to
+// setting Options.Nodes and friends directly. The fleet size is always
+// applied (a topology must carry it); fields absent from the file leave the
+// corresponding options untouched.
 func ReadClusterTopology(r io.Reader, o Options) (Options, error) {
 	c, err := cluster.ReadConfig(r)
 	if err != nil {
 		return o, err
 	}
-	o.Nodes = c.Nodes
+	o.Nodes = c.StartNodes()
+	o.NodeTypes = nil
+	for _, t := range c.Types() {
+		o.NodeTypes = append(o.NodeTypes, ClusterNodeType{
+			Count: t.Count, SMs: t.SMs, PCIeGen: t.PCIeGen, SlowFactor: t.SlowFactor,
+		})
+	}
 	if c.Dispatch != "" {
 		o.Dispatch = DispatchKind(c.Dispatch)
 	}
@@ -94,23 +211,50 @@ func ReadClusterTopology(r io.Reader, o Options) (Options, error) {
 	if c.ContextCapacity != 0 {
 		o.ContextCapacity = c.ContextCapacity
 	}
+	if c.Autoscale != nil {
+		a := c.Autoscale
+		o.Autoscale = &AutoscalePolicy{
+			Interval:    time.Duration(a.Interval),
+			Cooldown:    time.Duration(a.Cooldown),
+			Min:         a.Min,
+			Max:         a.Max,
+			Step:        a.Step,
+			Class:       a.Class,
+			HighP99:     time.Duration(a.HighP99),
+			HighMiss:    a.HighMiss,
+			HighBacklog: a.HighBacklog,
+			LowBacklog:  a.LowBacklog,
+		}
+	}
+	if c.Faults != nil {
+		f := c.Faults
+		o.Faults = &FaultPlan{
+			Seed:          f.Seed,
+			KillRate:      f.KillRate,
+			Downtime:      time.Duration(f.Downtime),
+			StragglerFrac: f.StragglerFrac,
+			SlowFactor:    f.SlowFactor,
+		}
+	}
 	return o, nil
 }
 
 // RunCluster simulates the open-system workload described by o.Arrivals on a
-// fleet of o.Nodes identical GPUs behind the o.Dispatch placement policy.
-// The fleet runs in deterministic lockstep (per-GPU event engines merged by
-// timestamp, node index as tie-break), so results are byte-identical across
-// runs and worker counts. Each GPU runs its own instance of the configured
-// scheduling policy and preemption mechanism; a completed request retires on
-// the GPU that ran it.
+// fleet of simulated GPUs behind the o.Dispatch placement policy. The fleet
+// starts as o.Nodes identical GPUs (or the heterogeneous o.NodeTypes) and —
+// when o.Autoscale or o.Faults is set — grows, drains, fails and recovers as
+// the run unfolds. Everything runs in deterministic lockstep (per-GPU event
+// engines plus a fleet control engine merged by timestamp), so results are
+// byte-identical across runs and worker counts. Each GPU runs its own
+// instance of the configured scheduling policy and preemption mechanism; a
+// completed request retires on the GPU that ran it.
 func RunCluster(o Options) (*ClusterResult, error) {
 	o = o.fill()
 	if o.Arrivals == nil {
 		return nil, fmt.Errorf("repro: RunCluster needs Options.Arrivals")
 	}
 	nodes := o.Nodes
-	if nodes <= 0 {
+	if nodes <= 0 && len(o.NodeTypes) == 0 {
 		nodes = 1
 	}
 	dispSeed := o.DispatchSeed
@@ -129,27 +273,51 @@ func RunCluster(o Options) (*ClusterResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := cluster.Run(at.t, cluster.RunConfig{
+	crc := cluster.RunConfig{
 		Sys:        rc.Sys,
 		Nodes:      nodes,
 		Dispatcher: disp,
 		Policy:     rc.Policy,
 		Mechanism:  rc.Mechanism,
 		MaxSimTime: rc.MaxSimTime,
-	})
+	}
+	for _, t := range o.NodeTypes {
+		crc.NodeTypes = append(crc.NodeTypes, cluster.NodeType{
+			Count: t.Count, SMs: t.SMs, PCIeGen: t.PCIeGen, SlowFactor: t.SlowFactor,
+		})
+	}
+	if o.Autoscale != nil {
+		asc, err := cluster.NewStepAutoscaler(o.Autoscale.lower())
+		if err != nil {
+			return nil, err
+		}
+		crc.Autoscale = asc
+	}
+	if o.Faults != nil {
+		crc.Faults = o.Faults.lower()
+	}
+	res, err := cluster.Run(at.t, crc)
 	if err != nil {
 		return nil, err
 	}
 
 	out := &ClusterResult{
 		Dispatch:    DispatchKind(res.Dispatcher),
+		Autoscale:   res.Autoscaler,
 		Admitted:    res.Admitted,
 		Completed:   res.Completed,
+		Lost:        res.Lost,
 		InFlight:    res.InFlight,
 		Missed:      res.Missed,
 		EndTime:     time.Duration(res.EndTime),
 		Utilization: res.Utilization,
 		Goodput:     res.Goodput,
+		NodeSeconds: res.NodeSeconds,
+		LostWork:    time.Duration(res.LostWork),
+		ScaleUps:    res.ScaleUps,
+		Drains:      res.Drains,
+		Kills:       res.Kills,
+		Restarts:    res.Restarts,
 		Preemptions: res.Stats.PreemptionsDone,
 	}
 	for i := range res.Classes {
@@ -158,13 +326,18 @@ func RunCluster(o Options) (*ClusterResult, error) {
 	for i := range res.Nodes {
 		n := &res.Nodes[i]
 		out.Nodes = append(out.Nodes, NodeReport{
-			Node:        i,
-			Admitted:    n.Admitted,
-			Completed:   n.Completed,
-			InFlight:    n.InFlight,
-			Missed:      n.Missed,
-			Utilization: n.Utilization,
-			Preemptions: n.Stats.PreemptionsDone,
+			Node:         i,
+			Admitted:     n.Admitted,
+			Completed:    n.Completed,
+			Lost:         n.Lost,
+			InFlight:     n.InFlight,
+			Missed:       n.Missed,
+			State:        n.State.String(),
+			Incarnations: n.Incarnations,
+			TimeScale:    n.TimeScale,
+			UpTime:       time.Duration(n.UpTime),
+			Utilization:  n.Utilization,
+			Preemptions:  n.Stats.PreemptionsDone,
 		})
 	}
 	return out, nil

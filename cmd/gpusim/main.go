@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -67,9 +68,18 @@ func main() {
 		horizon  = flag.Duration("horizon", 5*time.Millisecond, "open-system arrival injection window")
 		deadline = flag.Duration("deadline", 2*time.Millisecond, "completion deadline of the high-priority class (0 = none)")
 		arrOut   = flag.String("arrivals-out", "", "write the (generated or replayed) arrival stream to this JSON file")
+		phasesF  = flag.String("phases", "", "arrival-rate phases as factor:duration pairs, e.g. 0.3:1ms,2.2:500us,0.3:1ms (cycles until the horizon; empty = constant rate)")
 		gpus     = flag.Int("gpus", 1, "number of simulated GPUs; with -arrivals >1 runs the fleet behind -dispatch")
 		dispatch = flag.String("dispatch", "round-robin", "cluster dispatch policy: "+dispatchNames())
 		clusterF = flag.String("cluster", "", "cluster topology JSON file; the fields it carries override -gpus/-dispatch")
+		ascale   = flag.String("autoscale", "", "autoscale the fleet between min:max GPUs (e.g. -autoscale 2:8)")
+		asHigh   = flag.Int("as-high", 4, "autoscale up when fleet in-flight exceeds this per Up GPU")
+		asLow    = flag.Int("as-low", 1, "autoscale down when fleet in-flight falls below this per Up GPU")
+		asIval   = flag.Duration("as-interval", 250*time.Microsecond, "autoscaler decision period")
+		killRate = flag.Float64("kill-rate", 0, "fault injection: mean GPU kills per simulated second")
+		downtime = flag.Duration("downtime", 500*time.Microsecond, "fault injection: how long a killed GPU stays down")
+		straggle = flag.Float64("straggler", 0, "fault injection: probability each GPU incarnation is a straggler")
+		slowF    = flag.Float64("slow-factor", 2, "fault injection: straggler service-time multiplier")
 		reps     = flag.Int("reps", 1, "simulate this many replicas of the workload under derived seeds")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent replica simulations")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -150,8 +160,30 @@ func main() {
 			fatal(err)
 		}
 	}
-	if opts.Nodes > 1 && *arrFlag == "" {
-		fatal(fmt.Errorf("-gpus %d needs -arrivals: the cluster layer serves open request streams", opts.Nodes))
+	if *ascale != "" {
+		var lo, hi int
+		if _, err := fmt.Sscanf(*ascale, "%d:%d", &lo, &hi); err != nil || lo < 1 || hi < lo {
+			fatal(fmt.Errorf("-autoscale wants min:max with 1 <= min <= max, got %q", *ascale))
+		}
+		opts.Autoscale = &repro.AutoscalePolicy{
+			Interval:    *asIval,
+			Min:         lo,
+			Max:         hi,
+			HighBacklog: *asHigh,
+			LowBacklog:  *asLow,
+		}
+	}
+	if *killRate > 0 || *straggle > 0 {
+		opts.Faults = &repro.FaultPlan{
+			KillRate:      *killRate,
+			Downtime:      *downtime,
+			StragglerFrac: *straggle,
+			SlowFactor:    *slowF,
+		}
+	}
+	fleet := opts.Nodes > 1 || len(opts.NodeTypes) > 0 || opts.Autoscale != nil || opts.Faults != nil
+	if fleet && *arrFlag == "" {
+		fatal(fmt.Errorf("a fleet (-gpus/-autoscale/-kill-rate) needs -arrivals: the cluster layer serves open request streams"))
 	}
 	if *arrFlag != "" {
 		if *timeline || *reps > 1 {
@@ -169,7 +201,7 @@ func main() {
 		if (*hp < 0 || *hp >= len(apps)) && !deadlineSet {
 			*deadline = 0
 		}
-		runOpen(apps, *hp, *arrFlag, *rate, *horizon, *deadline, *arrOut, opts)
+		runOpen(apps, *hp, *arrFlag, *rate, *horizon, *deadline, *arrOut, parsePhases(*phasesF), opts)
 		return
 	}
 	if *reps > 1 {
@@ -211,8 +243,8 @@ func main() {
 // replayed arrival-trace file. With -hp set, apps[hp] forms a high-priority
 // "rt" class carrying the -deadline budget and the remaining apps the
 // best-effort "batch" class; without it every app joins one "open" class.
-func runOpen(apps []*repro.App, hp int, mode string, rate float64, horizon, deadline time.Duration, outPath string, opts repro.Options) {
-	spec := &repro.ArrivalSpec{Rate: rate, Horizon: horizon}
+func runOpen(apps []*repro.App, hp int, mode string, rate float64, horizon, deadline time.Duration, outPath string, phases []repro.ArrivalPhase, opts repro.Options) {
+	spec := &repro.ArrivalSpec{Rate: rate, Horizon: horizon, Phases: phases}
 	switch mode {
 	case "poisson", "bursty", "heavytail":
 		spec.Process = repro.ArrivalProcess(mode)
@@ -264,7 +296,7 @@ func runOpen(apps []*repro.App, hp int, mode string, rate float64, horizon, dead
 		fmt.Fprintf(os.Stderr, "wrote %d arrivals to %s\n", tr.Len(), outPath)
 	}
 
-	if opts.Nodes > 1 {
+	if opts.Nodes > 1 || len(opts.NodeTypes) > 0 || opts.Autoscale != nil || opts.Faults != nil {
 		runCluster(mode, opts)
 		return
 	}
@@ -299,14 +331,21 @@ func runCluster(mode string, opts repro.Options) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("cluster: gpus=%d dispatch=%s policy=%s mechanism=%s arrivals=%s seed=%d\n",
+	fmt.Printf("cluster: gpus=%d dispatch=%s policy=%s mechanism=%s arrivals=%s seed=%d",
 		len(res.Nodes), res.Dispatch, opts.Policy, orDefault(string(opts.Mechanism), "auto"), mode, opts.Seed)
-	fmt.Printf("simulated time: %v   admitted: %d   completed: %d   in-flight: %d   mean utilization: %.1f%%   preemptions: %d\n\n",
-		res.EndTime, res.Admitted, res.Completed, res.InFlight, res.Utilization*100, res.Preemptions)
-	fmt.Printf("%-6s %9s %6s %8s %8s %12s\n", "gpu", "admitted", "done", "inflight", "missed", "utilization")
+	if res.Autoscale != "" {
+		fmt.Printf(" autoscale=%s", res.Autoscale)
+	}
+	fmt.Println()
+	fmt.Printf("simulated time: %v   admitted: %d   completed: %d   in-flight: %d   lost: %d   mean utilization: %.1f%%   preemptions: %d\n",
+		res.EndTime, res.Admitted, res.Completed, res.InFlight, res.Lost, res.Utilization*100, res.Preemptions)
+	fmt.Printf("fleet: node-seconds: %.6f   scale-ups: %d   drains: %d   kills: %d   restarts: %d   lost work: %v\n\n",
+		res.NodeSeconds, res.ScaleUps, res.Drains, res.Kills, res.Restarts, res.LostWork)
+	fmt.Printf("%-6s %-9s %9s %6s %8s %6s %8s %7s %12s %12s\n",
+		"gpu", "state", "admitted", "done", "inflight", "lost", "missed", "incarn", "uptime", "utilization")
 	for _, n := range res.Nodes {
-		fmt.Printf("%-6d %9d %6d %8d %8d %11.1f%%\n",
-			n.Node, n.Admitted, n.Completed, n.InFlight, n.Missed, n.Utilization*100)
+		fmt.Printf("%-6d %-9s %9d %6d %8d %6d %8d %7d %12v %11.1f%%\n",
+			n.Node, n.State, n.Admitted, n.Completed, n.InFlight, n.Lost, n.Missed, n.Incarnations, n.UpTime, n.Utilization*100)
 	}
 	fmt.Println()
 	printClassTable(res.Classes, res.Goodput)
@@ -342,6 +381,31 @@ func runReplicas(apps []*repro.App, hp, reps int, opts repro.Options) {
 	}
 	n := float64(len(results))
 	fmt.Printf("%-8s %9.3f %9.3f %10.3f\n", "mean", antt/n, stp/n, fair/n)
+}
+
+// parsePhases parses the -phases flag: comma-separated factor:duration
+// pairs, each scaling the base arrival rate for its duration, cycling.
+func parsePhases(s string) []repro.ArrivalPhase {
+	if s == "" {
+		return nil
+	}
+	var out []repro.ArrivalPhase
+	for _, part := range strings.Split(s, ",") {
+		factor, dur, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			fatal(fmt.Errorf("-phases wants factor:duration pairs, got %q", part))
+		}
+		f, err := strconv.ParseFloat(factor, 64)
+		if err != nil {
+			fatal(fmt.Errorf("-phases %q: bad rate factor: %w", part, err))
+		}
+		d, err := time.ParseDuration(dur)
+		if err != nil {
+			fatal(fmt.Errorf("-phases %q: bad duration: %w", part, err))
+		}
+		out = append(out, repro.ArrivalPhase{RateFactor: f, Duration: d})
+	}
+	return out
 }
 
 func orDefault(s, d string) string {

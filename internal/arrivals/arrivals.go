@@ -63,6 +63,18 @@ type ClassSpec struct {
 	Apps []AppChoice
 }
 
+// Phase scales a stream's arrival rate for a stretch of simulated time.
+// A phase sequence models time-varying offered load: a diurnal curve is a
+// cycle of factors rising to a midday peak and falling back; a flash crowd
+// is a short phase with a large factor between calm ones.
+type Phase struct {
+	// RateFactor multiplies the base Rate while the phase is active. Must be
+	// positive.
+	RateFactor float64
+	// Duration is the phase's length. Must be positive.
+	Duration sim.Time
+}
+
 // GenSpec parameterizes a synthetic arrival stream.
 type GenSpec struct {
 	// Process is the inter-arrival process. Default ProcPoisson.
@@ -79,6 +91,9 @@ type GenSpec struct {
 	Seed uint64
 	// Classes are the service classes with their request mixes.
 	Classes []ClassSpec
+	// Phases optionally modulate Rate over time: the phases play in order
+	// and cycle until the stream ends. Empty means constant rate.
+	Phases []Phase
 	// BurstMean is the mean burst size of ProcBursty. Default 8.
 	BurstMean float64
 	// Alpha is the Pareto shape of ProcHeavyTail (must be > 1 for a finite
@@ -134,12 +149,40 @@ func (g *GenSpec) validate() error {
 			}
 		}
 	}
+	for i, p := range g.Phases {
+		if p.RateFactor <= 0 {
+			return fmt.Errorf("arrivals: phase %d: rate factor must be positive, got %v", i, p.RateFactor)
+		}
+		if p.Duration <= 0 {
+			return fmt.Errorf("arrivals: phase %d: duration must be positive, got %v", i, p.Duration)
+		}
+	}
 	switch g.Process {
 	case ProcPoisson, ProcBursty, ProcHeavyTail:
 	default:
 		return fmt.Errorf("arrivals: unknown process %q", g.Process)
 	}
 	return nil
+}
+
+// phaseFactor returns the rate factor of the phase active at time at (the
+// phase sequence cycles).
+func phaseFactor(phases []Phase, at sim.Time) float64 {
+	if len(phases) == 0 {
+		return 1
+	}
+	var total sim.Time
+	for _, p := range phases {
+		total += p.Duration
+	}
+	t := at % total
+	for _, p := range phases {
+		if t < p.Duration {
+			return p.RateFactor
+		}
+		t -= p.Duration
+	}
+	return phases[len(phases)-1].RateFactor
 }
 
 // Generate synthesizes a seeded arrival stream as a serializable trace: the
@@ -206,9 +249,13 @@ func Generate(spec GenSpec) (*trace.ArrivalTrace, error) {
 		if spec.MaxArrivals > 0 && len(out.Arrivals) >= spec.MaxArrivals {
 			break
 		}
+		// The active phase scales the mean gap of the next draw, so rate
+		// changes take effect one inter-arrival at a time — enough for
+		// diurnal and flash-crowd load shapes without event-level machinery.
+		mg := meanGap / phaseFactor(spec.Phases, sim.Time(t*float64(sim.Second)))
 		switch spec.Process {
 		case ProcPoisson:
-			t += expGap(meanGap)
+			t += expGap(mg)
 		case ProcBursty:
 			if burstLeft > 0 {
 				burstLeft--
@@ -221,19 +268,19 @@ func Generate(spec GenSpec) (*trace.ArrivalTrace, error) {
 					size++
 				}
 				burstLeft = size - 1
-				interGap := float64(size)*meanGap - float64(size-1)*intraGap
+				interGap := float64(size)*mg - float64(size-1)*intraGap
 				if interGap < intraGap {
 					interGap = intraGap
 				}
 				t += expGap(interGap)
 			}
 		case ProcHeavyTail:
-			// Pareto with shape Alpha scaled to mean meanGap, truncated at
+			// Pareto with shape Alpha scaled to mean mg, truncated at
 			// 1000x the mean so a single draw cannot swallow the horizon.
-			xm := meanGap * (spec.Alpha - 1) / spec.Alpha
+			xm := mg * (spec.Alpha - 1) / spec.Alpha
 			gap := xm / math.Pow(1-r.Float64(), 1/spec.Alpha)
-			if gap > 1000*meanGap {
-				gap = 1000 * meanGap
+			if gap > 1000*mg {
+				gap = 1000 * mg
 			}
 			t += gap
 		}

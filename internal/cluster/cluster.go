@@ -5,10 +5,19 @@
 //
 // The lockstep rule makes a cluster run a pure function of (trace, config):
 // the cluster repeatedly fires the globally earliest pending event across
-// all per-node engines, breaking timestamp ties by node index, and an
-// arrival due at time t is dispatched before any node event at t. No
+// the control engine, the arrival stream and all per-node engines, breaking
+// timestamp ties in that order (node events tie-break by node index). No
 // goroutines are involved, so results are byte-identical on any machine and
 // at any experiment-grid worker count.
+//
+// The fleet is elastic and faulty — deterministically. A control engine owned
+// by the cluster carries the events that change the fleet itself: autoscaler
+// ticks (an Autoscaler adds nodes and gracefully drains them from rolling SLO
+// feedback), seeded node kills (in-flight requests are lost and re-dispatched,
+// the node restarts after a downtime as a fresh incarnation, possibly a
+// straggler), and the restarts those kills schedule. With no autoscaler and no
+// faults the control engine stays empty and the run reduces exactly to the
+// fixed-fleet lockstep.
 //
 // The placement decision interacts with the per-GPU preemption mechanism: a
 // dispatcher that lets queues skew creates exactly the head-of-line blocking
@@ -38,16 +47,26 @@ const nodeSeedTag = 0xC105
 // RunConfig parameterizes a cluster simulation.
 type RunConfig struct {
 	// Sys is the per-node machine configuration; every node is one replica
-	// of it. Each node derives its own jitter seed from Sys.Seed and its
-	// index. When Sys.ContextCapacity is zero it is sized to the arrival
-	// count so admission never fails on any placement.
+	// of it unless NodeTypes overrides it. Each node derives its own jitter
+	// seed from Sys.Seed and its index. When Sys.ContextCapacity is zero it
+	// is sized to the arrival count so admission never fails on any
+	// placement.
 	Sys system.Config
-	// Nodes is the number of replicated machines (default 1).
+	// Nodes is the number of replicated machines (default 1). With NodeTypes
+	// set it must be zero or equal the types' total count.
 	Nodes int
+	// NodeTypes optionally builds a heterogeneous initial fleet: the types
+	// expand in order to the starting nodes, each overriding pieces of Sys.
+	NodeTypes []NodeType
 	// Dispatcher places each arrival on a node. Default: round-robin.
 	// Dispatchers are stateful; do not share one value across concurrent
 	// runs.
 	Dispatcher Dispatcher
+	// Autoscale, when non-nil, resizes the fleet from rolling SLO feedback.
+	Autoscale Autoscaler
+	// Faults, when non-nil, is the seeded chaos plan: node kills, restarts
+	// and stragglers.
+	Faults *FaultSpec
 	// Policy builds each node's scheduling policy from the class count.
 	Policy func(nClasses int) core.Policy
 	// Mechanism builds each node's preemption mechanism (nil = none).
@@ -60,7 +79,7 @@ type RunConfig struct {
 }
 
 func (rc *RunConfig) defaults() {
-	if rc.Nodes <= 0 {
+	if rc.Nodes <= 0 && len(rc.NodeTypes) == 0 {
 		rc.Nodes = 1
 	}
 	if rc.Dispatcher == nil {
@@ -77,87 +96,153 @@ func (rc *RunConfig) defaults() {
 	}
 }
 
-// Node is one machine of the cluster: an assembled system with its own event
-// engine, context table and streaming SLO account. Dispatchers read nodes
-// through the accessor methods; everything else is maintained by the Cluster.
+// Node is one machine slot of the cluster: an assembled system with its own
+// event engine, context table and streaming SLO account, plus its lifecycle
+// state. A kill replaces the machine but not the slot — the SLO account and
+// counters span incarnations. Dispatchers read nodes through the accessor
+// methods; everything else is maintained by the Cluster.
 type Node struct {
 	// Index is the node's position in the cluster (the timestamp tie-break).
 	Index int
-	// Sys is the node's assembled machine.
+	// Sys is the node's assembled machine (nil while the node is down).
 	Sys *system.System
 	// Acct is the node's per-class SLO accounting.
 	Acct *metrics.SLOAccount
 
-	admitted, finished int
-	inflightByApp      []int
+	state       NodeState
+	incarnation int
+	baseCfg     system.Config // machine config of every incarnation (seed/scale vary)
+	baseScale   float64       // configured service-time scale (NodeType.SlowFactor)
+	timeScale   float64       // effective scale of the current incarnation
+	upSince     sim.Time
+	upTime      sim.Time
+	busyAcc     float64 // SM-busy virtual time of dead incarnations
+	statsAcc    core.Stats
+
+	admitted, finished, lost int
+	inflightByApp            []int
+	pending                  map[int]sim.Time // in-flight arrival index -> dispatch time
 }
 
-// Admitted returns the number of requests dispatched to this node.
+// Admitted returns the number of dispatch attempts placed on this node.
 func (n *Node) Admitted() int { return n.admitted }
 
 // Completed returns the number of requests that finished on this node.
 func (n *Node) Completed() int { return n.finished }
 
-// InFlight returns the node's outstanding request count (dispatched but not
-// completed) — the queue length join-shortest-queue minimizes.
-func (n *Node) InFlight() int { return n.admitted - n.finished }
+// Lost returns the number of attempts destroyed by kills of this node.
+func (n *Node) Lost() int { return n.lost }
+
+// State returns the node's lifecycle state.
+func (n *Node) State() NodeState { return n.state }
+
+// TimeScale returns the current incarnation's service-time multiplier
+// (1 = nominal, >1 = straggler or slow node type).
+func (n *Node) TimeScale() float64 { return n.timeScale }
+
+// InFlight returns the node's outstanding request count (dispatched but
+// neither completed nor lost) — the queue length join-shortest-queue
+// minimizes.
+func (n *Node) InFlight() int { return n.admitted - n.finished - n.lost }
 
 // InFlightByApp returns how many outstanding requests of the given
 // application index the node holds. Predictive dispatchers weigh these
 // counts by per-application service-time estimates.
 func (n *Node) InFlightByApp(app int) int { return n.inflightByApp[app] }
 
-// NodeResult reports one node's outcome.
+// NodeResult reports one node slot's outcome.
 type NodeResult struct {
 	// Classes holds the node's per-class SLO accounting, in trace class
 	// order.
 	Classes []metrics.ClassSLO
-	// Admitted counts requests dispatched to the node; Completed counts
-	// requests that finished there; InFlight is the node's outstanding
-	// population at the end; Missed counts completed requests that blew
-	// their class deadline.
-	Admitted, Completed, InFlight, Missed int
-	// Utilization is the node's SM busy fraction over the cluster run.
+	// Admitted counts dispatch attempts placed on the node; Completed counts
+	// attempts that finished there; Lost counts attempts destroyed by kills
+	// of this node; InFlight is the node's outstanding population at the
+	// end; Missed counts completed requests that blew their class deadline.
+	Admitted, Completed, Lost, InFlight, Missed int
+	// State is the node's lifecycle state at the end of the run.
+	State NodeState
+	// Incarnations counts the machines that occupied this slot (1 + kills
+	// survived).
+	Incarnations int
+	// TimeScale is the final incarnation's service-time multiplier.
+	TimeScale float64
+	// UpTime is how long the slot was Up or Draining.
+	UpTime sim.Time
+	// Utilization is the node's SM busy fraction over the cluster run,
+	// summed across incarnations.
 	Utilization float64
-	// Stats snapshots the node's execution-engine counters.
+	// Stats accumulates the execution-engine counters over all incarnations.
 	Stats core.Stats
 }
 
 // Result reports a completed cluster simulation: the fleet-wide rollup plus
-// every node's individual outcome.
+// every node slot's individual outcome.
 type Result struct {
 	// Dispatcher names the placement policy that produced this result.
 	Dispatcher string
+	// Autoscaler names the scaling policy ("" = fixed fleet).
+	Autoscaler string
 	// Nodes lists per-node outcomes, in node-index order.
 	Nodes []NodeResult
 	// Classes is the cluster rollup of the per-node SLO accounts (counters
 	// summed, latency sketches merged bucket-wise).
 	Classes []metrics.ClassSLO
-	// Admitted == Completed + InFlight across the fleet (conservation).
-	Admitted, Completed, InFlight, Missed int
+	// Admitted == Completed + Lost + InFlight across the fleet
+	// (conservation). A request re-dispatched after a kill counts as a new
+	// admission, so Admitted counts attempts, not unique requests.
+	Admitted, Completed, Lost, InFlight, Missed int
 	// EndTime is the virtual time the simulation stopped.
 	EndTime sim.Time
-	// Utilization is the mean SM busy fraction across nodes.
+	// Utilization is the mean SM busy fraction across node slots.
 	Utilization float64
 	// Goodput is fleet-wide SLO-compliant completions per simulated second.
 	Goodput float64
+	// NodeSeconds is the capacity the run consumed: total Up/Draining node
+	// time in simulated seconds — the cost axis autoscaling trades against
+	// SLO attainment.
+	NodeSeconds float64
+	// LostWork is the in-flight virtual time destroyed by kills.
+	LostWork sim.Time
+	// ScaleUps/Drains/Kills/Restarts count control-plane events.
+	ScaleUps, Drains, Kills, Restarts int
 	// Stats sums the execution-engine counters over all nodes.
 	Stats core.Stats
 }
 
-// Cluster runs N nodes in deterministic lockstep over one arrival stream.
-// Build one with New and drive it with Run; a Cluster is single-use.
+// Cluster runs an elastic fleet in deterministic lockstep over one arrival
+// stream. Build one with New and drive it with Run; a Cluster is single-use.
 type Cluster struct {
 	Nodes []*Node
 
-	tr                 *trace.ArrivalTrace
-	rc                 RunConfig
-	disp               Dispatcher
-	next               int // next undispatched arrival
-	admitted, finished int
-	now                sim.Time
-	err                error
-	ran                bool
+	tr                       *trace.ArrivalTrace
+	rc                       RunConfig
+	disp                     Dispatcher
+	next                     int // next undispatched arrival
+	admitted, finished, lost int
+	now                      sim.Time
+	err                      error
+	ran                      bool
+
+	// ctl is the control engine: fleet-mutating events (autoscaler ticks,
+	// kills, restarts) fire here, merged into the lockstep loop ahead of
+	// same-timestamp arrivals and node events.
+	ctl    *sim.Engine
+	ctlAt  sim.Time
+	ctlHas bool
+
+	asc     Autoscaler
+	prevWin []metrics.ClassSLO // previous tick's rollup (rolling-window baseline)
+	faults  *FaultSpec
+	faultR  *rng.Source
+
+	addCfg   system.Config // machine config for autoscaler-added nodes
+	addScale float64
+
+	lostWork                          sim.Time
+	scaleUps, drains, kills, restarts int
+
+	eligible []*Node // dispatch scratch: current Up nodes
 
 	// nextAt/hasNext cache each node engine's next event timestamp. Node
 	// engines are isolated — an event on node i can only schedule on node i,
@@ -170,51 +255,145 @@ type Cluster struct {
 
 // refresh re-caches node i's next pending event time.
 func (c *Cluster) refresh(i int) {
+	if c.Nodes[i].Sys == nil {
+		c.nextAt[i], c.hasNext[i] = 0, false
+		return
+	}
 	c.nextAt[i], c.hasNext[i] = c.Nodes[i].Sys.Eng.Peek()
 }
 
-// New validates the configuration and assembles the cluster's nodes. Each
-// node gets its own policy and mechanism instance from the config's
+// refreshCtl re-caches the control engine's next pending event time.
+func (c *Cluster) refreshCtl() {
+	c.ctlAt, c.ctlHas = c.ctl.Peek()
+}
+
+// nodeSeed derives one incarnation's jitter seed. Incarnation 0 uses the
+// two-coordinate derivation of the fixed-fleet era, so fault-free runs stay
+// byte-identical with it.
+func nodeSeed(base uint64, index, incarnation int) uint64 {
+	if incarnation == 0 {
+		return rng.SeedFrom(base, nodeSeedTag, uint64(index))
+	}
+	return rng.SeedFrom(base, nodeSeedTag, uint64(index), uint64(incarnation))
+}
+
+// newSystem (re)builds a node's machine for its current incarnation: fresh
+// policy and mechanism instances, an incarnation-specific jitter seed, and
+// the straggler die rolled into the service-time scale.
+func (c *Cluster) newSystem(n *Node) error {
+	cfg := n.baseCfg
+	cfg.Seed = nodeSeed(c.rc.Sys.Seed, n.Index, n.incarnation)
+	n.timeScale = n.baseScale * c.stragglerFactor(n.Index, n.incarnation)
+	cfg.TimeScale = n.timeScale
+	sys, err := system.New(cfg, c.rc.Policy(len(c.tr.Classes)), c.rc.Mechanism())
+	if err != nil {
+		return err
+	}
+	n.Sys = sys
+	return nil
+}
+
+// New validates the configuration and assembles the cluster's starting nodes.
+// Each node gets its own policy and mechanism instance from the config's
 // factories and a jitter seed derived from its index.
 func New(tr *trace.ArrivalTrace, rc RunConfig) (*Cluster, error) {
 	rc.defaults()
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
-	if rc.Nodes > MaxNodes {
-		return nil, fmt.Errorf("cluster: node count %d out of range [1, %d]", rc.Nodes, MaxNodes)
-	}
 	if rc.Policy == nil {
 		return nil, fmt.Errorf("cluster: no policy factory")
 	}
-	c := &Cluster{tr: tr, rc: rc, disp: rc.Dispatcher}
-	for i := 0; i < rc.Nodes; i++ {
-		sysCfg := rc.Sys
-		if sysCfg.ContextCapacity <= 0 {
-			sysCfg.ContextCapacity = arrivals.ContextCapacityFor(tr)
+	// The per-node machine configs: NodeTypes expand in order, or Nodes
+	// homogeneous replicas of Sys.
+	type nodeCfg struct {
+		cfg   system.Config
+		scale float64
+	}
+	base := rc.Sys
+	if base.ContextCapacity <= 0 {
+		base.ContextCapacity = arrivals.ContextCapacityFor(tr)
+	}
+	baseScale := 1.0
+	if base.TimeScale > 0 {
+		baseScale = base.TimeScale
+	}
+	base.TimeScale = 0
+	var cfgs []nodeCfg
+	if len(rc.NodeTypes) > 0 {
+		total := 0
+		for ti, t := range rc.NodeTypes {
+			if err := t.Validate(); err != nil {
+				return nil, fmt.Errorf("cluster: node type %d: %w", ti, err)
+			}
+			total += t.Count
+			for j := 0; j < t.Count; j++ {
+				cfgs = append(cfgs, nodeCfg{t.apply(base), baseScale * t.scale()})
+			}
 		}
-		sysCfg.Seed = rng.SeedFrom(rc.Sys.Seed, nodeSeedTag, uint64(i))
-		sys, err := system.New(sysCfg, rc.Policy(len(tr.Classes)), rc.Mechanism())
-		if err != nil {
-			return nil, fmt.Errorf("cluster: building node %d: %w", i, err)
+		if rc.Nodes != 0 && rc.Nodes != total {
+			return nil, fmt.Errorf("cluster: node count %d does not match node types' total %d", rc.Nodes, total)
 		}
-		c.Nodes = append(c.Nodes, &Node{
+	} else {
+		for i := 0; i < rc.Nodes; i++ {
+			cfgs = append(cfgs, nodeCfg{base, baseScale})
+		}
+	}
+	if len(cfgs) < 1 || len(cfgs) > MaxNodes {
+		return nil, fmt.Errorf("cluster: node count %d out of range [1, %d]", len(cfgs), MaxNodes)
+	}
+
+	c := &Cluster{tr: tr, rc: rc, disp: rc.Dispatcher, ctl: sim.NewEngine()}
+	if rc.Faults != nil {
+		if err := rc.Faults.Validate(); err != nil {
+			return nil, err
+		}
+		fs := rc.Faults.withDefaults()
+		if fs.Seed == 0 {
+			fs.Seed = rng.SeedFrom(rc.Sys.Seed, faultSeedTag)
+		}
+		c.faults = &fs
+	}
+	for i, nc := range cfgs {
+		n := &Node{
 			Index:         i,
-			Sys:           sys,
 			Acct:          metrics.NewSLOAccount(tr.Classes),
 			inflightByApp: make([]int, len(tr.Apps)),
-		})
+			pending:       make(map[int]sim.Time),
+			baseCfg:       nc.cfg,
+			baseScale:     nc.scale,
+			state:         NodeUp,
+		}
+		if err := c.newSystem(n); err != nil {
+			return nil, fmt.Errorf("cluster: building node %d: %w", i, err)
+		}
+		c.Nodes = append(c.Nodes, n)
 	}
-	c.nextAt = make([]sim.Time, rc.Nodes)
-	c.hasNext = make([]bool, rc.Nodes)
-	c.disp.Reset(rc.Nodes, len(tr.Classes), len(tr.Apps))
+	c.addCfg, c.addScale = base, baseScale
+	c.nextAt = make([]sim.Time, len(c.Nodes))
+	c.hasNext = make([]bool, len(c.Nodes))
+	c.disp.Reset(len(c.Nodes), len(tr.Classes), len(tr.Apps))
+	if rc.Autoscale != nil {
+		if rc.Autoscale.Interval() <= 0 {
+			return nil, fmt.Errorf("cluster: autoscaler %s has non-positive interval %v",
+				rc.Autoscale.Name(), rc.Autoscale.Interval())
+		}
+		c.asc = rc.Autoscale
+		c.prevWin = metrics.NewSLOAccount(tr.Classes).Classes
+		c.scheduleTick(rc.Autoscale.Interval())
+	}
+	if c.faults != nil && c.faults.KillRate > 0 {
+		c.faultR = rng.New(c.faults.Seed)
+		c.scheduleKill(0)
+	}
 	return c, nil
 }
 
-// Run simulates the arrival stream across the configured nodes and reports
+// Run simulates the arrival stream across the configured fleet and reports
 // per-node plus rolled-up SLO metrics. The simulation stops when every
-// dispatched request has completed (or at MaxSimTime / MaxEvents, leaving
-// the remainder in flight).
+// dispatch attempt has resolved — completed or lost to a kill — and the
+// stream is exhausted (or at MaxSimTime / MaxEvents, leaving the remainder
+// in flight).
 func Run(tr *trace.ArrivalTrace, rc RunConfig) (*Result, error) {
 	c, err := New(tr, rc)
 	if err != nil {
@@ -235,12 +414,26 @@ func (c *Cluster) Run() (*Result, error) {
 	return c.result()
 }
 
+// done reports whether the run has nothing left to resolve: every arrival
+// dispatched and every attempt completed or lost. Control-engine chains
+// (ticks, kills) may still be pending — they stop mattering once the work is
+// gone.
+func (c *Cluster) done() bool {
+	return c.next == len(c.tr.Arrivals) && c.finished+c.lost == c.admitted
+}
+
 // loop is the deterministic lockstep core: fire the globally earliest
-// pending event across arrival stream and node engines; arrivals win
-// timestamp ties against node events, node events tie-break by node index.
+// pending event across the control engine, the arrival stream and the node
+// engines. At equal timestamps control events run first (a scale-up or kill
+// at t shapes the fleet the arrival at t sees), then arrivals, then node
+// events (tie-break by node index) — so a completion at an arrival's own
+// timestamp is not yet visible to the dispatcher.
 func (c *Cluster) loop() error {
 	var processed uint64
 	for c.err == nil {
+		if c.done() {
+			return c.err
+		}
 		if processed >= c.rc.MaxEvents {
 			// Like the single-machine event watchdog: stop, keep what ran.
 			break
@@ -258,14 +451,21 @@ func (c *Cluster) loop() error {
 			}
 		}
 		switch {
+		case c.ctlHas && (!hasA || c.ctlAt <= tA) && (ni < 0 || c.ctlAt <= tN):
+			if c.ctlAt > c.rc.MaxSimTime {
+				c.now = c.rc.MaxSimTime
+				return c.err
+			}
+			c.now = c.ctlAt
+			c.ctl.Step()
+			c.refreshCtl()
+			processed++
 		case hasA && (ni < 0 || tA <= tN):
-			// The dispatcher decides with every node event before tA already
-			// processed; node events at exactly tA are still pending, so a
-			// completion at the arrival's own timestamp is not yet visible.
 			if tA > c.rc.MaxSimTime {
 				c.now = c.rc.MaxSimTime
 				return c.err
 			}
+			c.now = tA
 			c.dispatch(c.next)
 			c.next++
 		case ni >= 0:
@@ -277,9 +477,6 @@ func (c *Cluster) loop() error {
 			c.Nodes[ni].Sys.Eng.Step()
 			c.refresh(ni)
 			processed++
-			if c.next == len(c.tr.Arrivals) && c.finished == c.admitted {
-				return c.err
-			}
 		default:
 			return c.err
 		}
@@ -287,39 +484,64 @@ func (c *Cluster) loop() error {
 	return c.err
 }
 
-// dispatch places arrival i on a node. The dispatcher-visible counters move
-// immediately so a later arrival at the same timestamp already sees this
-// request; the engine-side admission (context allocation, process start)
-// fires as a node event at the arrival time, when the node's clock is right.
+// dispatch places arrival i on a node at its arrival time.
 func (c *Cluster) dispatch(i int) {
+	c.place(i, c.tr.Arrivals[i].At)
+}
+
+// place runs the dispatch protocol for arrival i at time at (the arrival
+// time, or the kill time for a re-dispatched attempt). Only Up nodes are
+// eligible; the dispatcher picks a position in that filtered slice. The
+// dispatcher-visible counters move immediately so a later arrival at the
+// same timestamp already sees this request; the engine-side admission
+// (context allocation, process start) fires as a node event at time at, when
+// the node's clock is right.
+func (c *Cluster) place(i int, at sim.Time) {
 	a := &c.tr.Arrivals[i]
-	ni := c.disp.Pick(a.At, a.Class, a.App, c.Nodes)
-	if ni < 0 || ni >= len(c.Nodes) {
-		c.fail(fmt.Errorf("cluster: dispatcher %s picked node %d of %d for request %d",
-			c.disp.Name(), ni, len(c.Nodes), i))
+	elig := c.eligible[:0]
+	for _, n := range c.Nodes {
+		if n.state == NodeUp {
+			elig = append(elig, n)
+		}
+	}
+	c.eligible = elig
+	if len(elig) == 0 {
+		c.fail(fmt.Errorf("cluster: no Up node to dispatch request %d at %v", i, at))
 		return
 	}
-	n := c.Nodes[ni]
+	pi := c.disp.Pick(at, a.Class, a.App, elig)
+	if pi < 0 || pi >= len(elig) {
+		c.fail(fmt.Errorf("cluster: dispatcher %s picked position %d of %d for request %d",
+			c.disp.Name(), pi, len(elig), i))
+		return
+	}
+	n := elig[pi]
 	n.admitted++
 	c.admitted++
 	n.inflightByApp[a.App]++
 	n.Acct.Admit(a.Class)
-	c.disp.Dispatched(ni, a.Class, a.App)
-	n.Sys.Eng.At(a.At, func() { c.admit(n, i) })
-	c.refresh(ni)
+	n.pending[i] = at
+	c.disp.Dispatched(n.Index, a.Class, a.App)
+	n.Sys.Eng.At(at, func() { c.admit(n, i) })
+	c.refresh(n.Index)
 }
 
-// admit runs on the owning node's engine at the arrival time: the shared
+// admit runs on the owning node's engine at the dispatch time: the shared
 // open-system admission protocol (arrivals.AdmitRequest) places a fresh
 // context and process on this node, and completion retires them here — on
-// the owning node — before the cluster and dispatcher bookkeeping updates.
+// the owning node — before the cluster and dispatcher bookkeeping updates. A
+// draining node that empties retires.
 func (c *Cluster) admit(n *Node, i int) {
 	class, app := c.tr.Arrivals[i].Class, c.tr.Arrivals[i].App
 	err := arrivals.AdmitRequest(n.Sys, n.Acct, c.tr, i, func(exec sim.Time) {
 		n.finished++
 		c.finished++
 		n.inflightByApp[app]--
+		delete(n.pending, i)
 		c.disp.Completed(n.Index, class, app, exec)
+		if n.state == NodeDraining && n.InFlight() == 0 {
+			c.retire(n, c.now)
+		}
 	})
 	if err != nil {
 		c.fail(fmt.Errorf("cluster: admitting request %d on node %d: %w", i, n.Index, err))
@@ -333,44 +555,77 @@ func (c *Cluster) fail(err error) {
 }
 
 // result rolls the per-node accounts up into the fleet-wide report and
-// cross-checks the conservation identity.
+// cross-checks the conservation identity
+// (admitted == completed + lost + in-flight, per node and fleet-wide).
 func (c *Cluster) result() (*Result, error) {
-	out := &Result{Dispatcher: c.disp.Name(), EndTime: c.now}
+	out := &Result{
+		Dispatcher: c.disp.Name(),
+		EndTime:    c.now,
+		LostWork:   c.lostWork,
+		ScaleUps:   c.scaleUps,
+		Drains:     c.drains,
+		Kills:      c.kills,
+		Restarts:   c.restarts,
+	}
+	if c.asc != nil {
+		out.Autoscaler = c.asc.Name()
+	}
 	rollup := metrics.NewSLOAccount(c.tr.Classes)
-	var admitted, finished int
+	var admitted, finished, lost int
 	for _, n := range c.Nodes {
 		adm, done, missed := n.Acct.Totals()
-		if adm != n.admitted || done != n.finished {
-			panic(fmt.Sprintf("cluster: node %d accounting drift: %d/%d admitted, %d/%d completed",
-				n.Index, adm, n.admitted, done, n.finished))
+		nl := n.Acct.LostTotal()
+		if adm != n.admitted || done != n.finished || nl != n.lost {
+			panic(fmt.Sprintf("cluster: node %d accounting drift: %d/%d admitted, %d/%d completed, %d/%d lost",
+				n.Index, adm, n.admitted, done, n.finished, nl, n.lost))
 		}
 		admitted += adm
 		finished += done
-		util := n.Sys.Exec.Utilization(out.EndTime)
+		lost += nl
+		if n.state == NodeUp || n.state == NodeDraining {
+			n.upTime += out.EndTime - n.upSince
+			n.upSince = out.EndTime
+		}
+		util := 0.0
+		st := n.statsAcc
+		if n.Sys != nil {
+			util = n.Sys.Exec.Utilization(out.EndTime)
+			st.Accumulate(n.Sys.Exec.Stats())
+		}
+		if out.EndTime > 0 {
+			util += n.busyAcc / float64(out.EndTime)
+		}
 		out.Nodes = append(out.Nodes, NodeResult{
-			Classes:     n.Acct.Classes,
-			Admitted:    adm,
-			Completed:   done,
-			InFlight:    adm - done,
-			Missed:      missed,
-			Utilization: util,
-			Stats:       n.Sys.Exec.Stats(),
+			Classes:      n.Acct.Classes,
+			Admitted:     adm,
+			Completed:    done,
+			Lost:         nl,
+			InFlight:     adm - done - nl,
+			Missed:       missed,
+			State:        n.state,
+			Incarnations: n.incarnation + 1,
+			TimeScale:    n.timeScale,
+			UpTime:       n.upTime,
+			Utilization:  util,
+			Stats:        st,
 		})
 		out.Utilization += util
+		out.NodeSeconds += n.upTime.Seconds()
 		if err := rollup.Merge(n.Acct); err != nil {
 			return nil, err
 		}
-		out.Stats.Accumulate(n.Sys.Exec.Stats())
+		out.Stats.Accumulate(st)
 	}
-	if admitted != c.admitted || finished != c.finished {
-		panic(fmt.Sprintf("cluster: accounting drift: %d/%d admitted, %d/%d completed",
-			admitted, c.admitted, finished, c.finished))
+	if admitted != c.admitted || finished != c.finished || lost != c.lost {
+		panic(fmt.Sprintf("cluster: accounting drift: %d/%d admitted, %d/%d completed, %d/%d lost",
+			admitted, c.admitted, finished, c.finished, lost, c.lost))
 	}
 	out.Utilization /= float64(len(c.Nodes))
 	out.Classes = rollup.Classes
 	adm, done, missed := rollup.Totals()
 	out.Admitted, out.Completed, out.Missed = adm, done, missed
-	out.InFlight = adm - done
+	out.Lost = lost
+	out.InFlight = adm - done - lost
 	out.Goodput = rollup.Goodput(out.EndTime)
 	return out, nil
 }

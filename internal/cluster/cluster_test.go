@@ -180,7 +180,7 @@ func (badDispatcher) Pick(at sim.Time, class, app int, n []*Node) int { return l
 func TestClusterRejectsOutOfRangePick(t *testing.T) {
 	tr := testTrace(t, 20000, 3)
 	_, err := Run(tr, testRunConfig(2, badDispatcher{}))
-	if err == nil || !strings.Contains(err.Error(), "picked node") {
+	if err == nil || !strings.Contains(err.Error(), "picked position") {
 		t.Errorf("out-of-range pick not rejected: %v", err)
 	}
 }

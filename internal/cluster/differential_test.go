@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/arrivals"
+	"repro/internal/core"
+	"repro/internal/preempt"
+	"repro/internal/trace"
+)
+
+// subTrace returns the arrivals a round-robin dispatcher places on node slot
+// k of an n-node fixed fleet: every n-th arrival, sharing the full trace's
+// app and class tables so per-class accounting lines up.
+func subTrace(tr *trace.ArrivalTrace, k, n int) *trace.ArrivalTrace {
+	sub := &trace.ArrivalTrace{Apps: tr.Apps, Classes: tr.Classes}
+	for i := k; i < len(tr.Arrivals); i += n {
+		sub.Arrivals = append(sub.Arrivals, tr.Arrivals[i])
+	}
+	return sub
+}
+
+// TestDifferentialFixedFleetDecomposes pins the elastic refactor against the
+// fixed-fleet semantics it replaced: with the autoscaler and fault injector
+// off, an n-node round-robin cluster is exactly n independent single-machine
+// open systems. Each node slot's per-class counters, quantile sketches and
+// execution-engine stats must deep-equal a standalone arrivals.Run of that
+// node's sub-stream under the same derived seed — for every preemption
+// mechanism. Any control-engine leakage into the data path (a reordered
+// event, a perturbed seed, a stray tick) breaks the equality.
+func TestDifferentialFixedFleetDecomposes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep in -short mode")
+	}
+	mechs := []struct {
+		name string
+		mk   func() core.Mechanism
+	}{
+		{"drain", func() core.Mechanism { return preempt.Drain{} }},
+		{"context-switch", func() core.Mechanism { return preempt.ContextSwitch{} }},
+		{"flush", func() core.Mechanism { return preempt.Flush{} }},
+		{"adaptive", func() core.Mechanism { return preempt.NewAdaptive() }},
+	}
+	tr := testTrace(t, 40000, 55)
+	const nodes = 3
+
+	for _, mech := range mechs {
+		rc := testRunConfig(nodes, NewRoundRobin())
+		rc.Mechanism = mech.mk
+		res, err := Run(tr, rc)
+		if err != nil {
+			t.Fatalf("%s: %v", mech.name, err)
+		}
+
+		for k := 0; k < nodes; k++ {
+			sub := subTrace(tr, k, nodes)
+			sys := rc.Sys
+			sys.Seed = nodeSeed(rc.Sys.Seed, k, 0)
+			sys.ContextCapacity = arrivals.ContextCapacityFor(tr)
+			solo, err := arrivals.Run(sub, arrivals.RunConfig{
+				Sys:       sys,
+				Policy:    rc.Policy,
+				Mechanism: mech.mk,
+			})
+			if err != nil {
+				t.Fatalf("%s: standalone node %d: %v", mech.name, k, err)
+			}
+			n := &res.Nodes[k]
+			if n.Admitted != solo.Admitted || n.Completed != solo.Completed || n.Missed != solo.Missed {
+				t.Errorf("%s: node %d counters (%d/%d/%d) != standalone (%d/%d/%d)",
+					mech.name, k, n.Admitted, n.Completed, n.Missed,
+					solo.Admitted, solo.Completed, solo.Missed)
+			}
+			if !reflect.DeepEqual(n.Classes, solo.Classes) {
+				t.Errorf("%s: node %d per-class accounting diverged from its standalone run",
+					mech.name, k)
+			}
+			if n.Stats != solo.Stats {
+				t.Errorf("%s: node %d stats %+v != standalone %+v", mech.name, k, n.Stats, solo.Stats)
+			}
+			if k == 0 && solo.EndTime > res.EndTime {
+				t.Errorf("%s: fleet ended at %v before standalone node 0 at %v",
+					mech.name, res.EndTime, solo.EndTime)
+			}
+		}
+	}
+}
+
+// TestDifferentialElasticMachineryIsInert pins that merely enabling the
+// elastic machinery does not perturb a fixed fleet: a zero-rate fault plan
+// and a pinned (min == max, no thresholds) autoscaler must reproduce the
+// plain fixed-fleet Result bit for bit — same counters, sketches, end time,
+// utilization — differing only in the reported autoscaler name.
+func TestDifferentialElasticMachineryIsInert(t *testing.T) {
+	tr := testTrace(t, 40000, 56)
+	const nodes = 3
+
+	run := func(mut func(*RunConfig)) *Result {
+		t.Helper()
+		rc := testRunConfig(nodes, NewJSQ())
+		if mut != nil {
+			mut(&rc)
+		}
+		res, err := Run(tr, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	base := run(nil)
+
+	zeroFaults := run(func(rc *RunConfig) {
+		rc.Faults = &FaultSpec{} // no kills, no stragglers
+	})
+	if !reflect.DeepEqual(base, zeroFaults) {
+		t.Errorf("zero-rate fault plan perturbed the fixed-fleet result")
+	}
+
+	pinned := run(func(rc *RunConfig) {
+		asc, err := NewStepAutoscaler(StepConfig{Min: nodes, Max: nodes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc.Autoscale = asc
+	})
+	if pinned.Autoscaler != "step" {
+		t.Fatalf("pinned run reports autoscaler %q", pinned.Autoscaler)
+	}
+	pinned.Autoscaler = base.Autoscaler
+	if !reflect.DeepEqual(base, pinned) {
+		t.Errorf("pinned autoscaler (min == max, no thresholds) perturbed the fixed-fleet result")
+	}
+}

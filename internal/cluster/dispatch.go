@@ -48,18 +48,22 @@ func Kinds() []Kind {
 type Dispatcher interface {
 	// Name labels the policy in results and tables.
 	Name() string
-	// Reset reinitializes internal state for a cluster of the given shape.
-	// The cluster calls it once before the first arrival.
+	// Reset reinitializes internal state for a cluster of the given starting
+	// shape. The cluster calls it once before the first arrival; an elastic
+	// fleet may grow or shrink afterwards without another Reset.
 	Reset(nodes, classes, apps int)
-	// Pick returns the node index for a request of the given class and
-	// application arriving at the given time. Nodes reflect every event
-	// strictly before at, plus all same-timestamp arrivals already placed.
+	// Pick returns a POSITION in the nodes slice for a request of the given
+	// class and application arriving at the given time. The slice holds the
+	// currently eligible (Up) nodes in fleet-index order — on an elastic
+	// fleet it is a subset of the fleet and its length varies between calls.
+	// Nodes reflect every event strictly before at, plus all same-timestamp
+	// arrivals already placed.
 	Pick(at sim.Time, class, app int, nodes []*Node) int
-	// Dispatched observes a placement (including this dispatcher's own),
-	// for policies that track load themselves.
+	// Dispatched observes a placement (including this dispatcher's own) by
+	// fleet node index, for policies that track load themselves.
 	Dispatched(node, class, app int)
-	// Completed observes a request finishing on a node with the given
-	// observed execution time (first issue to completion).
+	// Completed observes a request finishing on a node (by fleet index) with
+	// the given observed execution time (first issue to completion).
 	Completed(node, class, app int, exec sim.Time)
 }
 
@@ -217,8 +221,7 @@ func (d *leastLoaded) Pick(at sim.Time, class, app int, nodes []*Node) int {
 
 type classAffinity struct {
 	noopHooks
-	stride  int
-	subsets [][]int // class (mod stride) -> node indices
+	classes int
 }
 
 // NewClassAffinity returns the class-pinning dispatcher.
@@ -226,23 +229,28 @@ func NewClassAffinity() Dispatcher { return &classAffinity{} }
 
 func (d *classAffinity) Name() string { return string(KindClassAffinity) }
 
-func (d *classAffinity) Reset(nodes, classes, apps int) {
-	d.stride = classes
-	if nodes < d.stride {
-		d.stride = nodes
-	}
-	if d.stride < 1 {
-		d.stride = 1
-	}
-	d.subsets = make([][]int, d.stride)
-	for i := 0; i < nodes; i++ {
-		s := i % d.stride
-		d.subsets[s] = append(d.subsets[s], i)
-	}
-}
+func (d *classAffinity) Reset(nodes, classes, apps int) { d.classes = classes }
 
+// Pick computes the class's subset over the eligible slice by position
+// (positions congruent to the class modulo min(classes, len(nodes))) instead
+// of a Reset-time index table, so it follows the fleet as nodes come and go.
+// On a fixed fleet position equals index and this reduces to the static
+// pinning.
 func (d *classAffinity) Pick(at sim.Time, class, app int, nodes []*Node) int {
-	return shortestQueue(nodes, d.subsets[class%d.stride])
+	stride := d.classes
+	if len(nodes) < stride {
+		stride = len(nodes)
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	best, bestLoad := -1, 0
+	for p := class % stride; p < len(nodes); p += stride {
+		if l := nodes[p].InFlight(); best < 0 || l < bestLoad {
+			best, bestLoad = p, l
+		}
+	}
+	return best
 }
 
 // --- power of two choices --------------------------------------------------

@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// faultSeedTag namespaces the fault injector's RNG from the node jitter and
+// dispatch streams; stragglerSeedTag further namespaces the per-incarnation
+// straggler draws so adding or killing nodes never perturbs the kill
+// schedule.
+const (
+	faultSeedTag     = 0xFA17
+	stragglerSeedTag = 0x510
+)
+
+// FaultSpec parameterizes the seeded fault injector. Kills arrive as a
+// Poisson process over the whole fleet: each kill picks a uniform Up victim
+// (skipped when it would leave the fleet without an Up node), destroys the
+// victim's in-flight requests (counted as lost work and re-dispatched as
+// fresh admissions), and restarts the node after Downtime as a new
+// incarnation with a fresh jitter seed. Incarnations independently roll the
+// straggler die: a straggler serves every thread block SlowFactor times
+// slower until it is killed again. JSON tags let a cluster topology file
+// carry the plan (gpusim -cluster).
+type FaultSpec struct {
+	// Seed drives the injector (kill times, victims, straggler draws);
+	// 0 derives one from the machine seed.
+	Seed uint64 `json:"seed,omitempty"`
+	// KillRate is the mean node kills per simulated second (0 = no kills).
+	KillRate float64 `json:"kill_rate,omitempty"`
+	// Downtime is how long a killed node stays down. Default 500µs.
+	Downtime sim.Time `json:"downtime,omitempty"`
+	// StragglerFrac is the probability each node incarnation is a straggler.
+	StragglerFrac float64 `json:"straggler_frac,omitempty"`
+	// SlowFactor is the straggler service-time multiplier. Default 2.
+	SlowFactor float64 `json:"slow_factor,omitempty"`
+}
+
+func (f FaultSpec) withDefaults() FaultSpec {
+	if f.Downtime == 0 {
+		f.Downtime = 500 * sim.Microsecond
+	}
+	if f.SlowFactor <= 0 {
+		f.SlowFactor = 2
+	}
+	return f
+}
+
+// Validate checks the plan's shape. Negative downtimes are rejected rather
+// than clamped: a topology file asking for time travel is a typo.
+func (f FaultSpec) Validate() error {
+	if f.KillRate < 0 || math.IsNaN(f.KillRate) || math.IsInf(f.KillRate, 0) {
+		return fmt.Errorf("cluster: kill rate %v invalid", f.KillRate)
+	}
+	if f.Downtime < 0 {
+		return fmt.Errorf("cluster: negative downtime %v", f.Downtime)
+	}
+	if f.StragglerFrac < 0 || f.StragglerFrac > 1 || math.IsNaN(f.StragglerFrac) {
+		return fmt.Errorf("cluster: straggler fraction %v outside [0, 1]", f.StragglerFrac)
+	}
+	if f.SlowFactor < 0 || math.IsNaN(f.SlowFactor) || math.IsInf(f.SlowFactor, 0) {
+		return fmt.Errorf("cluster: slow factor %v invalid", f.SlowFactor)
+	}
+	return nil
+}
+
+// stragglerFactor returns the service-time multiplier the straggler die
+// assigns to one node incarnation. The draw depends only on the fault seed
+// and the (index, incarnation) pair, never on event order.
+func (c *Cluster) stragglerFactor(index, incarnation int) float64 {
+	if c.faults == nil || c.faults.StragglerFrac <= 0 {
+		return 1
+	}
+	r := rng.New(rng.SeedFrom(c.faults.Seed, stragglerSeedTag, uint64(index), uint64(incarnation)))
+	if r.Float64() < c.faults.StragglerFrac {
+		return c.faults.SlowFactor
+	}
+	return 1
+}
+
+// scheduleKill arms the next fleet kill on the control engine: exponential
+// gaps give Poisson kill arrivals at KillRate.
+func (c *Cluster) scheduleKill(from sim.Time) {
+	gap := -math.Log(1-c.faultR.Float64()) / c.faults.KillRate // seconds
+	at := from + sim.Time(gap*float64(sim.Second))
+	if at <= from {
+		at = from + 1
+	}
+	c.ctl.At(at, func() { c.kill(at) })
+	c.refreshCtl()
+}
+
+// kill fires one kill event: pick a uniform Up victim (skipping the kill
+// entirely when fewer than two nodes are Up, so the fleet always keeps
+// serving) and chain-schedule the next one.
+func (c *Cluster) kill(at sim.Time) {
+	var ups []*Node
+	for _, n := range c.Nodes {
+		if n.state == NodeUp {
+			ups = append(ups, n)
+		}
+	}
+	if len(ups) >= 2 {
+		c.killNode(ups[c.faultR.Intn(len(ups))], at)
+	}
+	c.scheduleKill(at)
+}
+
+// killNode destroys one node: its machine vanishes mid-flight (pending engine
+// events die with it), every in-flight request is counted lost and
+// immediately re-dispatched as a fresh admission through the dispatcher, and
+// a restart is scheduled after the configured downtime.
+func (c *Cluster) killNode(n *Node, at sim.Time) {
+	c.kills++
+	n.state = NodeDown
+	n.upTime += at - n.upSince
+	n.statsAcc.Accumulate(n.Sys.Exec.Stats())
+	n.busyAcc += n.Sys.Exec.Utilization(at) * float64(at)
+	n.Sys = nil
+	c.hasNext[n.Index] = false
+
+	// Sort the in-flight arrival indices so the re-dispatch order (and with
+	// it every downstream dispatcher decision) is deterministic.
+	idxs := make([]int, 0, len(n.pending))
+	for i := range n.pending {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		a := &c.tr.Arrivals[i]
+		n.lost++
+		c.lost++
+		n.Acct.Lose(a.Class)
+		n.inflightByApp[a.App]--
+		c.lostWork += at - n.pending[i]
+	}
+	clear(n.pending)
+	for _, i := range idxs {
+		c.place(i, at)
+	}
+
+	restartAt := at + c.faults.Downtime
+	c.ctl.At(restartAt, func() { c.restart(n, restartAt) })
+	c.refreshCtl()
+}
+
+// restart brings a killed node back as a fresh incarnation: new machine, new
+// jitter seed, new straggler draw. Its SLO account and lifetime counters
+// carry over — the node slot is the unit of accounting, not the incarnation.
+func (c *Cluster) restart(n *Node, at sim.Time) {
+	c.restarts++
+	n.incarnation++
+	if err := c.newSystem(n); err != nil {
+		c.fail(fmt.Errorf("cluster: restarting node %d: %w", n.Index, err))
+		return
+	}
+	n.state = NodeUp
+	n.upSince = at
+	c.refresh(n.Index)
+}

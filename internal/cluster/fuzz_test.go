@@ -2,13 +2,17 @@ package cluster
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
 
 // FuzzReadClusterConfig fuzzes the topology JSON decoder: whatever the
 // input, the decoder must never panic, and an accepted topology must
-// validate, round-trip through WriteJSON, and build its dispatcher.
+// validate, round-trip through WriteJSON, and build its dispatcher. The
+// corpus covers the heterogeneous-node, autoscale and fault stanzas,
+// including the decoder panics they once invited (null node-type entries,
+// negative downtimes).
 func FuzzReadClusterConfig(f *testing.F) {
 	f.Add(`{"nodes": 4, "dispatch": "jsq"}`)
 	f.Add(`{"nodes": 1}`)
@@ -20,6 +24,21 @@ func FuzzReadClusterConfig(f *testing.F) {
 	f.Add(`null`)
 	f.Add(`{}`)
 	f.Add(`{"nodes": 2, "unknown_field": true}`)
+	f.Add(`{"node_types": [{"count": 2, "sms": 16}, {"count": 2, "pcie_gen": 3}]}`)
+	f.Add(`{"node_types": [null]}`)
+	f.Add(`{"node_types": [{"count": 0}]}`)
+	f.Add(`{"nodes": 3, "node_types": [{"count": 2}]}`)
+	f.Add(`{"node_types": [{"count": 1, "slow_factor": -1}]}`)
+	f.Add(`{"node_types": [{"count": 1, "pcie_gen": 9}]}`)
+	f.Add(`{"nodes": 2, "autoscale": {"min": 2, "max": 8, "high_backlog": 4, "low_backlog": 1}}`)
+	f.Add(`{"nodes": 2, "autoscale": {"min": 8, "max": 2}}`)
+	f.Add(`{"nodes": 2, "autoscale": {"interval": -5}}`)
+	f.Add(`{"nodes": 2, "autoscale": {"high_miss": 2.5}}`)
+	f.Add(`{"nodes": 4, "faults": {"kill_rate": 200, "downtime": 500000}}`)
+	f.Add(`{"nodes": 4, "faults": {"downtime": -1}}`)
+	f.Add(`{"nodes": 4, "faults": {"kill_rate": -3}}`)
+	f.Add(`{"nodes": 4, "faults": {"straggler_frac": 1.5}}`)
+	f.Add(`{"nodes": 4, "faults": {"straggler_frac": 0.25, "slow_factor": 3}}`)
 	f.Fuzz(func(t *testing.T, data string) {
 		c, err := ReadConfig(strings.NewReader(data))
 		if err != nil {
@@ -31,6 +50,14 @@ func FuzzReadClusterConfig(f *testing.F) {
 		if _, err := c.Dispatcher(); err != nil {
 			t.Fatalf("accepted topology cannot build its dispatcher: %v\ninput: %s", err, data)
 		}
+		if c.Autoscale != nil {
+			if _, err := NewStepAutoscaler(*c.Autoscale); err != nil {
+				t.Fatalf("accepted autoscale stanza cannot build its policy: %v\ninput: %s", err, data)
+			}
+		}
+		if n := c.StartNodes(); n < 1 || n > MaxNodes {
+			t.Fatalf("accepted topology has %d starting nodes\ninput: %s", n, data)
+		}
 		var buf bytes.Buffer
 		if err := c.WriteJSON(&buf); err != nil {
 			t.Fatalf("accepted topology does not serialize: %v", err)
@@ -39,7 +66,7 @@ func FuzzReadClusterConfig(f *testing.F) {
 		if err != nil {
 			t.Fatalf("round-trip rejected: %v\njson: %s", err, buf.String())
 		}
-		if rt != c {
+		if !reflect.DeepEqual(rt, c) {
 			t.Fatalf("round-trip changed the topology: %+v vs %+v", rt, c)
 		}
 	})

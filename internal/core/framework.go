@@ -53,6 +53,7 @@ type Framework struct {
 
 	activeLimit int
 	jitter      float64
+	timeScale   float64
 	seed        uint64
 	launchSeq   uint64
 
@@ -121,6 +122,14 @@ func WithMemory(m *gmem.Manager) Option {
 	return func(fw *Framework) { fw.mem = m }
 }
 
+// WithTimeScale multiplies every thread block's execution time by f (> 0).
+// The cluster layer models straggler nodes — thermally throttled or
+// misbehaving machines that serve the same work slower — with f > 1;
+// 1 (the default) leaves trace timing untouched.
+func WithTimeScale(f float64) Option {
+	return func(fw *Framework) { fw.timeScale = f }
+}
+
 // New builds a framework for the given machine, policy and mechanism.
 func New(eng *sim.Engine, cfg gpu.Config, policy Policy, mech Mechanism, opts ...Option) (*Framework, error) {
 	if err := cfg.Validate(); err != nil {
@@ -138,9 +147,13 @@ func New(eng *sim.Engine, cfg gpu.Config, policy Policy, mech Mechanism, opts ..
 		occ:         make(map[*trace.KernelSpec]occInfo),
 		activeLimit: cfg.NumSMs,
 		jitter:      0.30,
+		timeScale:   1,
 	}
 	for _, opt := range opts {
 		opt(fw)
+	}
+	if fw.timeScale <= 0 {
+		return nil, fmt.Errorf("core: time scale must be positive, got %g", fw.timeScale)
 	}
 	fw.mechObs, _ = mech.(TBObserver)
 	if fw.activeLimit <= 0 {
@@ -685,7 +698,7 @@ func completeTBEvent(p any, x int64) {
 // kernel k.
 func (fw *Framework) tbDuration(k *KSR, idx int) sim.Time {
 	f := rng.JitterFactor(fw.jitter, fw.seed, k.Cmd.Launch, uint64(idx))
-	d := sim.Time(float64(k.Spec().TBTime) * f)
+	d := sim.Time(float64(k.Spec().TBTime) * f * fw.timeScale)
 	if d < 1 {
 		d = 1
 	}

@@ -116,6 +116,43 @@ func (s *Sketch) Quantile(q float64) sim.Time {
 	return s.max
 }
 
+// SinceQuantile returns an upper bound for the q-quantile of the durations
+// recorded after prev was snapshotted: the quantile of the bucket-wise count
+// difference s - prev. prev must be an earlier snapshot of the same sketch
+// (every bucket count monotonically non-decreasing), which makes the
+// difference itself a valid histogram. The elastic cluster's autoscaler uses
+// it for rolling-window tail latency without retaining samples. Bounds come
+// from bucket uppers only (the exact window min/max are not retained), and
+// an empty window returns 0.
+func (s *Sketch) SinceQuantile(prev *Sketch, q float64) sim.Time {
+	n := s.n - prev.n
+	if n == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank = ceil(q * n), in [1, n], as in Quantile.
+	rank := uint64(q * float64(n))
+	if float64(rank) < q*float64(n) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var cum uint64
+	for i := 0; i < sketchBuckets; i++ {
+		cum += s.counts[i] - prev.counts[i]
+		if cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return s.max
+}
+
 // Merge folds another sketch into s (bucket-wise addition, exact min/max).
 func (s *Sketch) Merge(o *Sketch) {
 	if o.n == 0 {
@@ -140,10 +177,13 @@ func (s *Sketch) Merge(o *Sketch) {
 type ClassSLO struct {
 	Name     string
 	Deadline sim.Time
-	// Admitted counts requests admitted; Completed counts requests whose
-	// run finished; Missed counts completed requests that exceeded the
-	// class deadline. Admitted - Completed is the in-flight population.
-	Admitted, Completed, Missed int
+	// Admitted counts dispatch attempts admitted; Completed counts attempts
+	// whose run finished; Missed counts completed attempts that exceeded
+	// the class deadline; Lost counts attempts destroyed by a node failure
+	// before completing (the elastic cluster re-dispatches the request as a
+	// fresh admission). Admitted - Completed - Lost is the in-flight
+	// population.
+	Admitted, Completed, Missed, Lost int
 	// Wait sketches the queueing latency, Latency the completion latency.
 	Wait, Latency Sketch
 }
@@ -157,8 +197,9 @@ func (c *ClassSLO) MissRate() float64 {
 	return float64(c.Missed) / float64(c.Completed)
 }
 
-// InFlight returns the admitted-but-not-completed population.
-func (c *ClassSLO) InFlight() int { return c.Admitted - c.Completed }
+// InFlight returns the admitted-but-not-completed population (attempts lost
+// to node failures are no longer in flight).
+func (c *ClassSLO) InFlight() int { return c.Admitted - c.Completed - c.Lost }
 
 // SLOAccount aggregates per-class SLO accounting for an open-system run.
 // All updates are O(1) and allocation-free; the account never retains
@@ -179,6 +220,10 @@ func NewSLOAccount(classes []trace.ArrivalClass) *SLOAccount {
 
 // Admit records the admission of one request of the given class.
 func (a *SLOAccount) Admit(class int) { a.Classes[class].Admitted++ }
+
+// Lose records one admitted attempt of the given class destroyed by a node
+// failure before it completed.
+func (a *SLOAccount) Lose(class int) { a.Classes[class].Lost++ }
 
 // Issued records a request's queueing latency: its first thread block
 // reached an SM wait after the request's arrival.
@@ -214,6 +259,7 @@ func (a *SLOAccount) Merge(o *SLOAccount) error {
 		c.Admitted += oc.Admitted
 		c.Completed += oc.Completed
 		c.Missed += oc.Missed
+		c.Lost += oc.Lost
 		c.Wait.Merge(&oc.Wait)
 		c.Latency.Merge(&oc.Latency)
 	}
@@ -226,6 +272,14 @@ func (a *SLOAccount) Totals() (admitted, completed, missed int) {
 		admitted += a.Classes[i].Admitted
 		completed += a.Classes[i].Completed
 		missed += a.Classes[i].Missed
+	}
+	return
+}
+
+// LostTotal sums attempts lost to node failures over all classes.
+func (a *SLOAccount) LostTotal() (lost int) {
+	for i := range a.Classes {
+		lost += a.Classes[i].Lost
 	}
 	return
 }
@@ -249,8 +303,12 @@ func (a *SLOAccount) Goodput(end sim.Time) float64 {
 func (a *SLOAccount) Validate() error {
 	for i := range a.Classes {
 		c := &a.Classes[i]
-		if c.Completed > c.Admitted {
-			return fmt.Errorf("metrics: class %s completed %d > admitted %d", c.Name, c.Completed, c.Admitted)
+		if c.Lost < 0 {
+			return fmt.Errorf("metrics: class %s negative lost count %d", c.Name, c.Lost)
+		}
+		if c.Completed+c.Lost > c.Admitted {
+			return fmt.Errorf("metrics: class %s completed %d + lost %d > admitted %d",
+				c.Name, c.Completed, c.Lost, c.Admitted)
 		}
 		if c.Missed > c.Completed {
 			return fmt.Errorf("metrics: class %s missed %d > completed %d", c.Name, c.Missed, c.Completed)

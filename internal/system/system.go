@@ -35,6 +35,9 @@ type Config struct {
 	// arrival count so admission never fails while retired contexts free
 	// their slots.
 	ContextCapacity int
+	// TimeScale multiplies every thread block's execution time (0 = 1, no
+	// scaling). The cluster's fault injector sets it > 1 on straggler nodes.
+	TimeScale float64
 }
 
 // DefaultConfig returns the evaluation machine of Table 2.
@@ -72,6 +75,9 @@ func New(cfg Config, pol core.Policy, mech core.Mechanism) (*System, error) {
 	}
 	if cfg.ActiveLimit > 0 {
 		opts = append(opts, core.WithActiveLimit(cfg.ActiveLimit))
+	}
+	if cfg.TimeScale > 0 {
+		opts = append(opts, core.WithTimeScale(cfg.TimeScale))
 	}
 	fw, err := core.New(eng, cfg.GPU, pol, mech, opts...)
 	if err != nil {

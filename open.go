@@ -46,6 +46,16 @@ type ArrivalClass struct {
 	AppWeights []float64
 }
 
+// ArrivalPhase scales the arrival rate for a stretch of simulated time. A
+// phase sequence models time-varying offered load — a diurnal curve or a
+// flash crowd — and cycles until the stream ends.
+type ArrivalPhase struct {
+	// RateFactor multiplies the base Rate while the phase is active.
+	RateFactor float64
+	// Duration is the phase's length.
+	Duration time.Duration
+}
+
 // ArrivalSpec describes an open-system workload: a synthetic arrival stream
 // (Process/Rate/Horizon over Classes) or a replayed trace. Assign it to
 // Options.Arrivals and simulate with RunOpen.
@@ -62,6 +72,8 @@ type ArrivalSpec struct {
 	Seed uint64
 	// Classes are the service classes of the synthetic stream.
 	Classes []ArrivalClass
+	// Phases optionally modulate Rate over time (empty = constant rate).
+	Phases []ArrivalPhase
 	// Trace, when non-nil, replays a previously generated (or hand-written)
 	// arrival stream instead of synthesizing one; the fields above are
 	// ignored.
@@ -101,6 +113,12 @@ func (s ArrivalSpec) genSpec(seed uint64) (arrivals.GenSpec, error) {
 	}
 	if s.Process == "" {
 		g.Process = arrivals.ProcPoisson
+	}
+	for _, p := range s.Phases {
+		g.Phases = append(g.Phases, arrivals.Phase{
+			RateFactor: p.RateFactor,
+			Duration:   sim.Time(p.Duration.Nanoseconds()),
+		})
 	}
 	for _, c := range s.Classes {
 		if c.AppWeights != nil && len(c.AppWeights) != len(c.Apps) {

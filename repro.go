@@ -181,9 +181,20 @@ type Options struct {
 	// Nodes is the number of simulated GPUs for RunCluster (0 or 1 = one
 	// machine). Run/RunMany/RunOpen ignore it.
 	Nodes int
+	// NodeTypes optionally makes RunCluster's starting fleet heterogeneous:
+	// the types expand in order, each overriding pieces of the base machine.
+	// When set, Nodes must be zero or equal the types' total count.
+	NodeTypes []ClusterNodeType
 	// Dispatch selects how RunCluster places each arrival on a node.
 	// Default DispatchRoundRobin.
 	Dispatch DispatchKind
+	// Autoscale, when non-nil, lets RunCluster resize the fleet from rolling
+	// SLO feedback instead of keeping it fixed.
+	Autoscale *AutoscalePolicy
+	// Faults, when non-nil, makes RunCluster's fleet misbehave
+	// deterministically: seeded node kills and restarts, plus straggler
+	// incarnations.
+	Faults *FaultPlan
 	// DispatchSeed drives randomized dispatch policies (DispatchPowerOfTwo)
 	// separately from the machine's jitter seed; 0 falls back to Seed.
 	DispatchSeed uint64
