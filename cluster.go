@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/resilience"
 	"repro/internal/sim"
 )
 
@@ -98,6 +99,94 @@ type FaultPlan struct {
 	SlowFactor    float64
 }
 
+// ResilienceSpec configures RunCluster's per-request lifecycle manager:
+// attempt timeouts, budgeted backoff-with-jitter retries, hedged requests,
+// per-GPU circuit breakers and admission-control load shedding. Each policy
+// arms independently; a nil or zero-valued spec leaves the run bit-for-bit on
+// the plain fleet path.
+type ResilienceSpec struct {
+	// Seed drives the retry-jitter stream; 0 derives one from Options.Seed.
+	Seed uint64
+	// Timeout is the per-attempt deadline: an attempt still running Timeout
+	// after its dispatch is abandoned and the request moves to the retry
+	// policy. 0 disables timeouts.
+	Timeout time.Duration
+	// Retry, when non-nil, re-dispatches attempts abandoned by timeout or
+	// destroyed by a GPU kill; without it a failed request is dropped.
+	Retry *RetryPolicy
+	// Hedge, when non-nil, races a backup attempt on another GPU when the
+	// first outlives the class's observed latency quantile.
+	Hedge *HedgePolicy
+	// Breaker, when non-nil, arms a circuit breaker per GPU slot: tripped
+	// GPUs are masked from dispatch until a half-open probe succeeds.
+	Breaker *BreakerPolicy
+	// Shed, when non-nil, bounds per-class admission and sheds best-effort
+	// overflow before it reaches a GPU; the highest-priority class is exempt.
+	Shed *ShedPolicy
+}
+
+// RetryPolicy governs re-dispatch of failed attempts.
+type RetryPolicy struct {
+	// MaxAttempts bounds attempts per request, first dispatch included
+	// (0 = unlimited — the naive retry-storm baseline).
+	MaxAttempts int
+	// BackoffBase is the delay before the first retry, doubling each retry
+	// up to BackoffMax (default 64 × base). 0 retries immediately.
+	BackoffBase, BackoffMax time.Duration
+	// JitterFrac spreads each delay uniformly over [1-JitterFrac, 1] × delay
+	// (default 0.5 when backoff is armed).
+	JitterFrac float64
+	// Budget, when non-nil, caps fleet-wide retry volume per class; a retry
+	// with no token drops the request.
+	Budget *RetryBudget
+}
+
+// RetryBudget is a per-class retry token bucket: each fresh admission refills
+// Ratio tokens (capped at Tokens), each retry spends one. With Ratio 0.1 the
+// fleet amplifies offered load by at most 10% no matter how hard it fails.
+type RetryBudget struct {
+	// Tokens is the bucket capacity and starting balance. Default 10.
+	Tokens float64
+	// Ratio is the tokens refilled per fresh admission. Default 0.1.
+	Ratio float64
+}
+
+// HedgePolicy races a backup attempt for slow requests.
+type HedgePolicy struct {
+	// Quantile of observed class completion latency at which the hedge
+	// fires. Default 0.95.
+	Quantile float64
+	// MinObs is how many class completions must exist before hedging arms.
+	// Default 16.
+	MinObs int
+	// MaxHedges bounds backup attempts per request. Default 1.
+	MaxHedges int
+}
+
+// BreakerPolicy parameterizes the per-GPU circuit breaker.
+type BreakerPolicy struct {
+	// Window is the rolling outcome window. Default 500µs.
+	Window time.Duration
+	// ErrorRate is the windowed failure fraction that trips the breaker
+	// (given MinVolume observations). Defaults 0.5 and 8.
+	ErrorRate float64
+	MinVolume int
+	// Cooldown is how long a tripped breaker stays open before letting
+	// Probes trial requests through. Defaults Window and 1.
+	Cooldown time.Duration
+	Probes   int
+}
+
+// ShedPolicy is admission control: per-class live-request ceilings scaled by
+// the Up-GPU count, a bounded FIFO overflow queue, and shedding past it.
+type ShedPolicy struct {
+	// PerNode is the per-class live-request ceiling per Up GPU. Default 8.
+	PerNode int
+	// Queue is the per-class admission-queue depth; arrivals past it are
+	// shed. Default 0 (shed at the ceiling).
+	Queue int
+}
+
 // NodeReport is one simulated GPU slot's outcome in a cluster run.
 type NodeReport struct {
 	// Node is the GPU's index in the cluster.
@@ -154,6 +243,18 @@ type ClusterResult struct {
 	ScaleUps, Drains, Kills, Restarts int
 	// Preemptions counts completed SM preemptions across the fleet.
 	Preemptions int
+
+	// The request-lifecycle fields below are filled only when
+	// Options.Resilience armed the lifecycle manager; they stay zero
+	// otherwise. Requests counts trace arrivals; each resolves exactly once
+	// as ReqCompleted, Dropped (retries or budget exhausted), Shed (refused
+	// by admission control) or remains in ReqInFlight.
+	Requests, ReqCompleted, Dropped, Shed, ReqInFlight int
+	// TimedOut and Canceled count abandoned attempts (per-attempt deadline,
+	// hedge-race losers); Retries and Hedges count re-dispatched and hedged
+	// attempts; Rejected counts attempts refused by a full GPU (included in
+	// Lost); BreakerTrips counts circuit breakers opening.
+	TimedOut, Canceled, Retries, Hedges, Rejected, BreakerTrips int
 }
 
 // lower converts the public autoscale policy to the internal step config.
@@ -170,6 +271,83 @@ func (p *AutoscalePolicy) lower() cluster.StepConfig {
 		HighBacklog: p.HighBacklog,
 		LowBacklog:  p.LowBacklog,
 	}
+}
+
+// lower converts the public resilience spec to the internal one.
+func (p *ResilienceSpec) lower() *resilience.Spec {
+	s := &resilience.Spec{
+		Seed:    p.Seed,
+		Timeout: sim.Time(p.Timeout.Nanoseconds()),
+	}
+	if p.Retry != nil {
+		s.Retry = &resilience.RetryPolicy{
+			MaxAttempts: p.Retry.MaxAttempts,
+			BackoffBase: sim.Time(p.Retry.BackoffBase.Nanoseconds()),
+			BackoffMax:  sim.Time(p.Retry.BackoffMax.Nanoseconds()),
+			JitterFrac:  p.Retry.JitterFrac,
+		}
+		if p.Retry.Budget != nil {
+			s.Retry.Budget = &resilience.Budget{
+				Tokens: p.Retry.Budget.Tokens,
+				Ratio:  p.Retry.Budget.Ratio,
+			}
+		}
+	}
+	if p.Hedge != nil {
+		s.Hedge = &resilience.HedgePolicy{
+			Quantile:  p.Hedge.Quantile,
+			MinObs:    p.Hedge.MinObs,
+			MaxHedges: p.Hedge.MaxHedges,
+		}
+	}
+	if p.Breaker != nil {
+		s.Breaker = &resilience.BreakerPolicy{
+			Window:    sim.Time(p.Breaker.Window.Nanoseconds()),
+			ErrorRate: p.Breaker.ErrorRate,
+			MinVolume: p.Breaker.MinVolume,
+			Cooldown:  sim.Time(p.Breaker.Cooldown.Nanoseconds()),
+			Probes:    p.Breaker.Probes,
+		}
+	}
+	if p.Shed != nil {
+		s.Shed = &resilience.ShedPolicy{PerNode: p.Shed.PerNode, Queue: p.Shed.Queue}
+	}
+	return s
+}
+
+// liftResilience converts the internal resilience spec to the public one.
+func liftResilience(s *resilience.Spec) *ResilienceSpec {
+	p := &ResilienceSpec{
+		Seed:    s.Seed,
+		Timeout: time.Duration(s.Timeout),
+	}
+	if s.Retry != nil {
+		p.Retry = &RetryPolicy{
+			MaxAttempts: s.Retry.MaxAttempts,
+			BackoffBase: time.Duration(s.Retry.BackoffBase),
+			BackoffMax:  time.Duration(s.Retry.BackoffMax),
+			JitterFrac:  s.Retry.JitterFrac,
+		}
+		if s.Retry.Budget != nil {
+			p.Retry.Budget = &RetryBudget{Tokens: s.Retry.Budget.Tokens, Ratio: s.Retry.Budget.Ratio}
+		}
+	}
+	if s.Hedge != nil {
+		p.Hedge = &HedgePolicy{Quantile: s.Hedge.Quantile, MinObs: s.Hedge.MinObs, MaxHedges: s.Hedge.MaxHedges}
+	}
+	if s.Breaker != nil {
+		p.Breaker = &BreakerPolicy{
+			Window:    time.Duration(s.Breaker.Window),
+			ErrorRate: s.Breaker.ErrorRate,
+			MinVolume: s.Breaker.MinVolume,
+			Cooldown:  time.Duration(s.Breaker.Cooldown),
+			Probes:    s.Breaker.Probes,
+		}
+	}
+	if s.Shed != nil {
+		p.Shed = &ShedPolicy{PerNode: s.Shed.PerNode, Queue: s.Shed.Queue}
+	}
+	return p
 }
 
 // lower converts the public fault plan to the internal spec.
@@ -236,6 +414,9 @@ func ReadClusterTopology(r io.Reader, o Options) (Options, error) {
 			SlowFactor:    f.SlowFactor,
 		}
 	}
+	if c.Resilience != nil {
+		o.Resilience = liftResilience(c.Resilience)
+	}
 	return o, nil
 }
 
@@ -296,6 +477,9 @@ func RunCluster(o Options) (*ClusterResult, error) {
 	if o.Faults != nil {
 		crc.Faults = o.Faults.lower()
 	}
+	if o.Resilience != nil {
+		crc.Resilience = o.Resilience.lower()
+	}
 	res, err := cluster.Run(at.t, crc)
 	if err != nil {
 		return nil, err
@@ -319,6 +503,18 @@ func RunCluster(o Options) (*ClusterResult, error) {
 		Kills:       res.Kills,
 		Restarts:    res.Restarts,
 		Preemptions: res.Stats.PreemptionsDone,
+
+		Requests:     res.Requests,
+		ReqCompleted: res.ReqCompleted,
+		Dropped:      res.Dropped,
+		Shed:         res.Shed,
+		ReqInFlight:  res.ReqInFlight,
+		TimedOut:     res.TimedOut,
+		Canceled:     res.Canceled,
+		Retries:      res.Retries,
+		Hedges:       res.Hedges,
+		Rejected:     res.Rejected,
+		BreakerTrips: res.BreakerTrips,
 	}
 	for i := range res.Classes {
 		out.Classes = append(out.Classes, classReport(&res.Classes[i]))

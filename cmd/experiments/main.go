@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|table2|fig2|fig5|fig6|fig7|fig8|priority|dss|mechanisms|load|cluster|autoscale|mps|static|slicing|ablations|all")
+		exp      = flag.String("exp", "all", "experiment: table1|table2|fig2|fig5|fig6|fig7|fig8|priority|dss|mechanisms|load|cluster|autoscale|resilience|mps|static|slicing|ablations|all")
 		gpusFlag = flag.String("gpus", "", "fleet sizes for -exp cluster (comma-separated, empty = 1,2,4)")
 		n        = flag.Int("n", 10, "workloads per size")
 		sizes    = flag.String("sizes", "2,4,6,8", "workload sizes")
@@ -174,6 +174,13 @@ func main() {
 			fatal(err)
 		}
 		emit("autoscale", r.Table())
+	}
+	if want("resilience") {
+		r, err := experiments.RunResilience(opts)
+		if err != nil {
+			fatal(err)
+		}
+		emit("resilience", r.Table())
 	}
 	if want("mps") {
 		r, err := experiments.RunMPS(opts)

@@ -76,6 +76,12 @@ func main() {
 		asHigh   = flag.Int("as-high", 4, "autoscale up when fleet in-flight exceeds this per Up GPU")
 		asLow    = flag.Int("as-low", 1, "autoscale down when fleet in-flight falls below this per Up GPU")
 		asIval   = flag.Duration("as-interval", 250*time.Microsecond, "autoscaler decision period")
+		timeoutF = flag.Duration("timeout", 0, "resilience: per-attempt deadline; expired attempts retry or drop (0 = off)")
+		retriesF = flag.Int("retries", 0, "resilience: attempts per request with seeded exponential backoff (0 = no retries)")
+		budgetF  = flag.String("retry-budget", "", "resilience: retry token bucket as tokens:ratio, e.g. 10:0.1 (needs -retries)")
+		hedgeF   = flag.String("hedge", "", "resilience: hedge slow attempts at this latency quantile, e.g. 0.95 or 0.95:16 (quantile[:warmup])")
+		breakerF = flag.String("breaker", "", "resilience: per-GPU circuit breaker as error-rate[:window], e.g. 0.5 or 0.5:500us")
+		shedF    = flag.String("shed", "", "resilience: admission control as per-gpu:queue bounds, e.g. 8:32")
 		killRate = flag.Float64("kill-rate", 0, "fault injection: mean GPU kills per simulated second")
 		downtime = flag.Duration("downtime", 500*time.Microsecond, "fault injection: how long a killed GPU stays down")
 		straggle = flag.Float64("straggler", 0, "fault injection: probability each GPU incarnation is a straggler")
@@ -181,9 +187,13 @@ func main() {
 			SlowFactor:    *slowF,
 		}
 	}
-	fleet := opts.Nodes > 1 || len(opts.NodeTypes) > 0 || opts.Autoscale != nil || opts.Faults != nil
+	if spec := buildResilience(*timeoutF, *retriesF, *budgetF, *hedgeF, *breakerF, *shedF); spec != nil {
+		opts.Resilience = spec
+	}
+	fleet := opts.Nodes > 1 || len(opts.NodeTypes) > 0 || opts.Autoscale != nil || opts.Faults != nil ||
+		opts.Resilience != nil
 	if fleet && *arrFlag == "" {
-		fatal(fmt.Errorf("a fleet (-gpus/-autoscale/-kill-rate) needs -arrivals: the cluster layer serves open request streams"))
+		fatal(fmt.Errorf("a fleet (-gpus/-autoscale/-kill-rate/-timeout/-retries) needs -arrivals: the cluster layer serves open request streams"))
 	}
 	if *arrFlag != "" {
 		if *timeline || *reps > 1 {
@@ -296,7 +306,8 @@ func runOpen(apps []*repro.App, hp int, mode string, rate float64, horizon, dead
 		fmt.Fprintf(os.Stderr, "wrote %d arrivals to %s\n", tr.Len(), outPath)
 	}
 
-	if opts.Nodes > 1 || len(opts.NodeTypes) > 0 || opts.Autoscale != nil || opts.Faults != nil {
+	if opts.Nodes > 1 || len(opts.NodeTypes) > 0 || opts.Autoscale != nil || opts.Faults != nil ||
+		opts.Resilience != nil {
 		runCluster(mode, opts)
 		return
 	}
@@ -323,6 +334,66 @@ func printClassTable(classes []repro.ClassReport, goodput float64) {
 	fmt.Printf("\ngoodput=%.0f req/s (SLO-compliant completions per simulated second)\n", goodput)
 }
 
+// buildResilience assembles the request-lifecycle spec from the resilience
+// flags, or returns nil when none was given so the zero-config path stays on
+// the plain fleet code. Policies left partially specified are completed by
+// the library's per-policy defaults.
+func buildResilience(timeout time.Duration, retries int, budget, hedge, breaker, shed string) *repro.ResilienceSpec {
+	if timeout == 0 && retries == 0 && budget == "" && hedge == "" && breaker == "" && shed == "" {
+		return nil
+	}
+	s := &repro.ResilienceSpec{Timeout: timeout}
+	if budget != "" && retries == 0 {
+		fatal(fmt.Errorf("-retry-budget needs -retries to arm the retry policy"))
+	}
+	if retries > 0 {
+		s.Retry = &repro.RetryPolicy{MaxAttempts: retries, BackoffBase: 20 * time.Microsecond}
+		if budget != "" {
+			var tokens, ratio float64
+			if _, err := fmt.Sscanf(budget, "%f:%f", &tokens, &ratio); err != nil || tokens <= 0 || ratio <= 0 {
+				fatal(fmt.Errorf("-retry-budget wants tokens:ratio (both positive), got %q", budget))
+			}
+			s.Retry.Budget = &repro.RetryBudget{Tokens: tokens, Ratio: ratio}
+		}
+	}
+	if hedge != "" {
+		q, warm, hasWarm := strings.Cut(hedge, ":")
+		h := &repro.HedgePolicy{}
+		var err error
+		if h.Quantile, err = strconv.ParseFloat(q, 64); err != nil || h.Quantile <= 0 || h.Quantile >= 1 {
+			fatal(fmt.Errorf("-hedge wants quantile[:warmup] with quantile in (0, 1), got %q", hedge))
+		}
+		if hasWarm {
+			if h.MinObs, err = strconv.Atoi(warm); err != nil || h.MinObs < 1 {
+				fatal(fmt.Errorf("-hedge %q: bad warmup count", hedge))
+			}
+		}
+		s.Hedge = h
+	}
+	if breaker != "" {
+		rate, win, hasWin := strings.Cut(breaker, ":")
+		b := &repro.BreakerPolicy{}
+		var err error
+		if b.ErrorRate, err = strconv.ParseFloat(rate, 64); err != nil || b.ErrorRate <= 0 || b.ErrorRate > 1 {
+			fatal(fmt.Errorf("-breaker wants error-rate[:window] with rate in (0, 1], got %q", breaker))
+		}
+		if hasWin {
+			if b.Window, err = time.ParseDuration(win); err != nil || b.Window <= 0 {
+				fatal(fmt.Errorf("-breaker %q: bad rolling window", breaker))
+			}
+		}
+		s.Breaker = b
+	}
+	if shed != "" {
+		p := &repro.ShedPolicy{}
+		if _, err := fmt.Sscanf(shed, "%d:%d", &p.PerNode, &p.Queue); err != nil || p.PerNode < 1 || p.Queue < 0 {
+			fatal(fmt.Errorf("-shed wants per-gpu:queue bounds, got %q", shed))
+		}
+		s.Shed = p
+	}
+	return s
+}
+
 // runCluster simulates the open-system stream on a fleet of GPUs behind the
 // configured dispatch policy and prints the fleet rollup plus each GPU's
 // share of the work.
@@ -339,8 +410,15 @@ func runCluster(mode string, opts repro.Options) {
 	fmt.Println()
 	fmt.Printf("simulated time: %v   admitted: %d   completed: %d   in-flight: %d   lost: %d   mean utilization: %.1f%%   preemptions: %d\n",
 		res.EndTime, res.Admitted, res.Completed, res.InFlight, res.Lost, res.Utilization*100, res.Preemptions)
-	fmt.Printf("fleet: node-seconds: %.6f   scale-ups: %d   drains: %d   kills: %d   restarts: %d   lost work: %v\n\n",
+	fmt.Printf("fleet: node-seconds: %.6f   scale-ups: %d   drains: %d   kills: %d   restarts: %d   lost work: %v\n",
 		res.NodeSeconds, res.ScaleUps, res.Drains, res.Kills, res.Restarts, res.LostWork)
+	if res.Requests > 0 {
+		fmt.Printf("lifecycle: requests: %d   completed: %d   dropped: %d   shed: %d   in-flight: %d\n",
+			res.Requests, res.ReqCompleted, res.Dropped, res.Shed, res.ReqInFlight)
+		fmt.Printf("attempts: timeouts: %d   retries: %d   hedges: %d   canceled: %d   rejected: %d   breaker trips: %d\n",
+			res.TimedOut, res.Retries, res.Hedges, res.Canceled, res.Rejected, res.BreakerTrips)
+	}
+	fmt.Println()
 	fmt.Printf("%-6s %-9s %9s %6s %8s %6s %8s %7s %12s %12s\n",
 		"gpu", "state", "admitted", "done", "inflight", "lost", "missed", "incarn", "uptime", "utilization")
 	for _, n := range res.Nodes {

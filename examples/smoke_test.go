@@ -28,6 +28,7 @@ var smokeCases = []struct {
 	{"realtime", nil}, // builder-made microbenchmark, tiny by construction
 	{"opensystem", []string{"-scale", "96"}},
 	{"cluster", []string{"-scale", "96"}},
+	{"resilience", []string{"-scale", "96"}},
 }
 
 // TestExamplesCovered pins that every example directory appears in the

@@ -148,6 +148,25 @@ func Run(tr *trace.ArrivalTrace, rc RunConfig) (*Result, error) {
 // dispatch time. Exported for internal/cluster, which admits the same way
 // on whichever node the dispatcher chose.
 func AdmitRequest(sys *system.System, acct *metrics.SLOAccount, tr *trace.ArrivalTrace, i int, onDone func(exec sim.Time)) error {
+	at, class := tr.Arrivals[i].At, tr.Arrivals[i].Class
+	return AdmitAttempt(sys, tr, i, func(rec proc.RunRecord) {
+		exec := rec.End - at
+		if rec.FirstIssue >= 0 {
+			acct.Issued(class, rec.FirstIssue-at)
+			exec = rec.End - rec.FirstIssue
+		}
+		acct.Complete(class, rec.End-at)
+		onDone(exec)
+	})
+}
+
+// AdmitAttempt is the accounting-free admission primitive under AdmitRequest:
+// it places the context and process for arrival i on sys at the engine's
+// current time and hands the raw completion record to onDone after the
+// context retires. The cluster's resilience layer admits through it so each
+// attempt's outcome can be judged (winner, ghost, hedge loser) before any SLO
+// accounting happens.
+func AdmitAttempt(sys *system.System, tr *trace.ArrivalTrace, i int, onDone func(rec proc.RunRecord)) error {
 	a := &tr.Arrivals[i]
 	cls := &tr.Classes[a.Class]
 	ctx, err := sys.NewContext(cls.Name, cls.Priority)
@@ -156,20 +175,17 @@ func AdmitRequest(sys *system.System, acct *metrics.SLOAccount, tr *trace.Arriva
 	}
 	p, err := proc.NewWithContext(sys, ctx, tr.Apps[a.App])
 	if err != nil {
+		// Give the slot back so a refused admission leaves the node untouched
+		// and the caller may retry elsewhere.
+		_ = sys.RetireContext(ctx.ID)
 		return err
 	}
-	at, class, ctxID := a.At, a.Class, ctx.ID
+	ctxID := ctx.ID
 	p.OnRunComplete = func(p *proc.Process, rec proc.RunRecord) {
-		exec := rec.End - at
-		if rec.FirstIssue >= 0 {
-			acct.Issued(class, rec.FirstIssue-at)
-			exec = rec.End - rec.FirstIssue
-		}
-		acct.Complete(class, rec.End-at)
 		if err := sys.RetireContext(ctxID); err != nil {
 			panic(fmt.Sprintf("arrivals: retiring request %d: %v", i, err))
 		}
-		onDone(exec)
+		onDone(rec)
 	}
 	return p.Start(sys.Eng.Now())
 }

@@ -143,3 +143,82 @@ func TestChaosConservationAndDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosResilienceConservation extends the chaos sweep to the
+// request-lifecycle manager: with timeouts, budgeted retries, hedging,
+// breakers and shedding all armed at once behind an active autoscaler and
+// fault injector, every dispatch policy must keep both ledgers —
+// requests = completed + dropped + shed + in-flight and
+// attempts admitted = completed + lost + timed out + cancelled + in-flight —
+// at fleet, node and class granularity, account every hedge race exactly
+// once (winner completed, loser cancelled), and replay byte-identically.
+func TestChaosResilienceConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized chaos sweep in -short mode")
+	}
+	mechs := []struct {
+		name string
+		mk   func() core.Mechanism
+	}{
+		{"context-switch", func() core.Mechanism { return preempt.ContextSwitch{} }},
+		{"drain", func() core.Mechanism { return preempt.Drain{} }},
+	}
+	killRates := []float64{0, 1500, 6000}
+	tr := testTrace(t, 40000, 203)
+
+	trial := 0
+	for ki, kind := range Kinds() {
+		for _, killRate := range killRates {
+			mech := mechs[trial%len(mechs)]
+			faults := &FaultSpec{KillRate: killRate, Downtime: 300 * sim.Microsecond}
+			if trial%2 == 1 {
+				faults.StragglerFrac = 0.5
+				faults.SlowFactor = 3
+			}
+			mkRC := func() RunConfig {
+				d, err := NewDispatcher(kind, uint64(ki+1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				asc, err := NewStepAutoscaler(StepConfig{Min: 3, Max: 5, HighBacklog: 6, LowBacklog: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rc := testRunConfig(3, d)
+				rc.Mechanism = mech.mk
+				rc.Autoscale = asc
+				rc.Faults = faults
+				rc.Resilience = resilienceSpec()
+				return rc
+			}
+
+			res, err := Run(tr, mkRC())
+			if err != nil {
+				t.Fatalf("%s/%s/kill=%g: %v", kind, mech.name, killRate, err)
+			}
+			name := string(kind) + "/" + mech.name + "/res"
+			checkResilienceConservation(t, name, res)
+			if res.Requests != len(tr.Arrivals) {
+				t.Errorf("%s/kill=%g: %d requests for %d arrivals",
+					name, killRate, res.Requests, len(tr.Arrivals))
+			}
+			if killRate == 0 {
+				if res.Kills != 0 || res.Lost != 0 {
+					t.Errorf("%s: zero kill rate produced kills=%d lost=%d",
+						name, res.Kills, res.Lost)
+				}
+			} else if killRate >= 6000 && res.Kills == 0 {
+				t.Errorf("%s/kill=%g: aggressive fault rate injected no kills", name, killRate)
+			}
+
+			again, err := Run(tr, mkRC())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res, again) {
+				t.Errorf("%s/kill=%g: re-run diverged", name, killRate)
+			}
+			trial++
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/preempt"
+	"repro/internal/resilience"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/system"
@@ -67,6 +68,12 @@ type RunConfig struct {
 	// Faults, when non-nil, is the seeded chaos plan: node kills, restarts
 	// and stragglers.
 	Faults *FaultSpec
+	// Resilience, when non-nil and armed, wraps every request in the
+	// per-request lifecycle manager: attempt timeouts, budgeted
+	// backoff-with-jitter retries, hedged requests, per-node circuit
+	// breakers and admission-control load shedding. A nil or zero-valued
+	// spec leaves the run bit-for-bit on the plain elastic-fleet path.
+	Resilience *resilience.Spec
 	// Policy builds each node's scheduling policy from the class count.
 	Policy func(nClasses int) core.Policy
 	// Mechanism builds each node's preemption mechanism (nil = none).
@@ -122,6 +129,15 @@ type Node struct {
 	admitted, finished, lost int
 	inflightByApp            []int
 	pending                  map[int]sim.Time // in-flight arrival index -> dispatch time
+
+	// Resilient-mode physical bookkeeping. An abandoned attempt (timed out
+	// or hedge loser) leaves the SLO-visible population immediately but its
+	// work keeps draining on the node as a ghost; resLive tracks every
+	// attempt physically occupying the node, ghostDone counts abandoned
+	// attempts that resolved here (ghost completions plus pre-start
+	// cancellations) and ghostLost abandoned attempts destroyed with a kill.
+	resLive              map[int]struct{}
+	ghostDone, ghostLost int
 }
 
 // Admitted returns the number of dispatch attempts placed on this node.
@@ -140,10 +156,13 @@ func (n *Node) State() NodeState { return n.state }
 // (1 = nominal, >1 = straggler or slow node type).
 func (n *Node) TimeScale() float64 { return n.timeScale }
 
-// InFlight returns the node's outstanding request count (dispatched but
-// neither completed nor lost) — the queue length join-shortest-queue
-// minimizes.
-func (n *Node) InFlight() int { return n.admitted - n.finished - n.lost }
+// InFlight returns the node's physical occupancy (attempts dispatched but
+// not yet resolved, abandoned ghosts included) — the queue length
+// join-shortest-queue minimizes. Without the resilience layer the ghost
+// counters stay zero and this is the classic admitted − finished − lost.
+func (n *Node) InFlight() int {
+	return n.admitted - n.finished - n.lost - n.ghostDone - n.ghostLost
+}
 
 // InFlightByApp returns how many outstanding requests of the given
 // application index the node holds. Predictive dispatchers weigh these
@@ -156,9 +175,10 @@ type NodeResult struct {
 	// order.
 	Classes []metrics.ClassSLO
 	// Admitted counts dispatch attempts placed on the node; Completed counts
-	// attempts that finished there; Lost counts attempts destroyed by kills
-	// of this node; InFlight is the node's outstanding population at the
-	// end; Missed counts completed requests that blew their class deadline.
+	// attempts that finished there; Lost counts live attempts destroyed by
+	// kills of this node; InFlight is the node's live outstanding population
+	// at the end (abandoned ghosts excluded); Missed counts completed
+	// requests that blew their class deadline.
 	Admitted, Completed, Lost, InFlight, Missed int
 	// State is the node's lifecycle state at the end of the run.
 	State NodeState
@@ -188,9 +208,10 @@ type Result struct {
 	// Classes is the cluster rollup of the per-node SLO accounts (counters
 	// summed, latency sketches merged bucket-wise).
 	Classes []metrics.ClassSLO
-	// Admitted == Completed + Lost + InFlight across the fleet
-	// (conservation). A request re-dispatched after a kill counts as a new
-	// admission, so Admitted counts attempts, not unique requests.
+	// Admitted == Completed + Lost + TimedOut + Canceled + InFlight across
+	// the fleet (conservation; the last two are zero without the resilience
+	// layer). A request re-dispatched after a kill or timeout counts as a
+	// new admission, so Admitted counts attempts, not unique requests.
 	Admitted, Completed, Lost, InFlight, Missed int
 	// EndTime is the virtual time the simulation stopped.
 	EndTime sim.Time
@@ -208,6 +229,18 @@ type Result struct {
 	ScaleUps, Drains, Kills, Restarts int
 	// Stats sums the execution-engine counters over all nodes.
 	Stats core.Stats
+
+	// Request-lifecycle ledger, filled only when the resilience layer is
+	// armed (all zero otherwise). Requests counts the offered arrivals;
+	// every one resolves as ReqCompleted, Dropped (retries or budget
+	// exhausted), Shed (refused by admission control), or remains in
+	// ReqInFlight (active or queued) at the end.
+	Requests, ReqCompleted, Dropped, Shed, ReqInFlight int
+	// TimedOut and Canceled count abandoned attempts; Retries and Hedges
+	// count re-dispatched and hedged attempts; Rejected counts attempts a
+	// node refused at admission (context table full, counted in Lost);
+	// BreakerTrips counts circuit breakers opening.
+	TimedOut, Canceled, Retries, Hedges, Rejected, BreakerTrips int
 }
 
 // Cluster runs an elastic fleet in deterministic lockstep over one arrival
@@ -241,6 +274,23 @@ type Cluster struct {
 
 	lostWork                          sim.Time
 	scaleUps, drains, kills, restarts int
+
+	// Request-lifecycle manager state (nil res = plain elastic fleet).
+	res         *resilience.Spec
+	resSeed     uint64
+	reqs        []reqRec                 // per-arrival request ledger
+	atts        []attRec                 // append-only attempt ledger
+	budgets     []resilience.TokenBucket // per-class retry budgets
+	breakers    []resilience.Breaker     // per node slot
+	hedgeLat    []metrics.Sketch         // per-class winning completion latency
+	queues      [][]int                  // per-class admission queues (arrival indices)
+	liveReq     []int                    // per-class launched-and-unresolved requests
+	shedByClass []int
+	maxPrio     int // highest class priority (the rt tier, exempt from shedding)
+
+	reqDone, dropped, shedCount int
+	retries, hedgeCount         int
+	rejected                    int
 
 	eligible []*Node // dispatch scratch: current Up nodes
 
@@ -386,6 +436,12 @@ func New(tr *trace.ArrivalTrace, rc RunConfig) (*Cluster, error) {
 		c.faultR = rng.New(c.faults.Seed)
 		c.scheduleKill(0)
 	}
+	if rc.Resilience.Enabled() {
+		if err := rc.Resilience.Validate(); err != nil {
+			return nil, err
+		}
+		c.initResilience()
+	}
 	return c, nil
 }
 
@@ -415,11 +471,18 @@ func (c *Cluster) Run() (*Result, error) {
 }
 
 // done reports whether the run has nothing left to resolve: every arrival
-// dispatched and every attempt completed or lost. Control-engine chains
-// (ticks, kills) may still be pending — they stop mattering once the work is
-// gone.
+// dispatched and every attempt completed or lost — or, with the resilience
+// layer armed, every request settled (completed, dropped, or shed).
+// Control-engine chains (ticks, kills) may still be pending — they stop
+// mattering once the work is gone.
 func (c *Cluster) done() bool {
-	return c.next == len(c.tr.Arrivals) && c.finished+c.lost == c.admitted
+	if c.next < len(c.tr.Arrivals) {
+		return false
+	}
+	if c.res != nil {
+		return c.resilienceDone()
+	}
+	return c.finished+c.lost == c.admitted
 }
 
 // loop is the deterministic lockstep core: fire the globally earliest
@@ -484,8 +547,13 @@ func (c *Cluster) loop() error {
 	return c.err
 }
 
-// dispatch places arrival i on a node at its arrival time.
+// dispatch places arrival i on a node at its arrival time — through
+// admission control when the resilience layer is armed.
 func (c *Cluster) dispatch(i int) {
+	if c.res != nil {
+		c.resArrive(i, c.tr.Arrivals[i].At)
+		return
+	}
 	c.place(i, c.tr.Arrivals[i].At)
 }
 
@@ -595,12 +663,16 @@ func (c *Cluster) result() (*Result, error) {
 		if out.EndTime > 0 {
 			util += n.busyAcc / float64(out.EndTime)
 		}
+		nin := 0
+		for ci := range n.Acct.Classes {
+			nin += n.Acct.Classes[ci].InFlight()
+		}
 		out.Nodes = append(out.Nodes, NodeResult{
 			Classes:      n.Acct.Classes,
 			Admitted:     adm,
 			Completed:    done,
 			Lost:         nl,
-			InFlight:     adm - done - nl,
+			InFlight:     nin,
 			Missed:       missed,
 			State:        n.state,
 			Incarnations: n.incarnation + 1,
@@ -627,5 +699,28 @@ func (c *Cluster) result() (*Result, error) {
 	out.Lost = lost
 	out.InFlight = adm - done - lost
 	out.Goodput = rollup.Goodput(out.EndTime)
+	if c.res != nil {
+		// Shed requests never reached a node, so the per-node accounts carry
+		// none; the rollup alone reports them. Everything else is summed from
+		// the merged per-node classes so node sums always match the rollup.
+		for ci := range out.Classes {
+			cc := &out.Classes[ci]
+			cc.Shed = c.shedByClass[ci]
+			out.TimedOut += cc.TimedOut
+			out.Canceled += cc.Canceled
+		}
+		out.InFlight -= out.TimedOut + out.Canceled
+		out.Requests = len(c.tr.Arrivals)
+		out.ReqCompleted = c.reqDone
+		out.Dropped = c.dropped
+		out.Shed = c.shedCount
+		out.ReqInFlight = out.Requests - c.reqDone - c.dropped - c.shedCount
+		out.Retries = c.retries
+		out.Hedges = c.hedgeCount
+		out.Rejected = c.rejected
+		for i := range c.breakers {
+			out.BreakerTrips += c.breakers[i].Trips()
+		}
+	}
 	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 
+	"repro/internal/resilience"
 	"repro/internal/system"
 )
 
@@ -91,6 +92,9 @@ type Config struct {
 	Autoscale *StepConfig `json:"autoscale,omitempty"`
 	// Faults, when present, is the seeded fault-injection plan.
 	Faults *FaultSpec `json:"faults,omitempty"`
+	// Resilience, when present, is the request-lifecycle plan: timeouts,
+	// retry budgets, hedging, circuit breakers, load shedding.
+	Resilience *resilience.Spec `json:"resilience,omitempty"`
 }
 
 // StartNodes returns the initial fleet size the topology describes.
@@ -140,6 +144,9 @@ func (c Config) Validate() error {
 		if err := c.Faults.Validate(); err != nil {
 			return err
 		}
+	}
+	if err := c.Resilience.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -7,6 +7,8 @@ import (
 	"repro/internal/arrivals"
 	"repro/internal/core"
 	"repro/internal/preempt"
+	"repro/internal/resilience"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -131,5 +133,86 @@ func TestDifferentialElasticMachineryIsInert(t *testing.T) {
 	pinned.Autoscaler = base.Autoscaler
 	if !reflect.DeepEqual(base, pinned) {
 		t.Errorf("pinned autoscaler (min == max, no thresholds) perturbed the fixed-fleet result")
+	}
+}
+
+// TestDifferentialZeroResilienceIsInert pins the resilience layer's inertness
+// contract: a zero-valued (but non-nil) ResilienceSpec arms nothing, so the
+// run must reproduce the plain fleet Result bit for bit — the exact PR-6 code
+// path, not a well-tuned imitation of it.
+func TestDifferentialZeroResilienceIsInert(t *testing.T) {
+	tr := testTrace(t, 40000, 57)
+
+	run := func(mut func(*RunConfig)) *Result {
+		t.Helper()
+		rc := testRunConfig(3, NewJSQ())
+		rc.Faults = &FaultSpec{KillRate: 2000, Downtime: 300 * sim.Microsecond}
+		if mut != nil {
+			mut(&rc)
+		}
+		res, err := Run(tr, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	base := run(nil)
+	zero := run(func(rc *RunConfig) { rc.Resilience = &resilience.Spec{} })
+	if !reflect.DeepEqual(base, zero) {
+		t.Errorf("zero-valued resilience spec perturbed the plain fleet result")
+	}
+	seedOnly := run(func(rc *RunConfig) { rc.Resilience = &resilience.Spec{Seed: 99} })
+	if !reflect.DeepEqual(base, seedOnly) {
+		t.Errorf("seed-only resilience spec (arms nothing) perturbed the plain fleet result")
+	}
+}
+
+// TestDifferentialResilientSingleNodeDecomposes pins the lifecycle manager's
+// pass-through: a single-node fleet with shedding disabled, no timeouts, no
+// retries and no faults routes every request through the attempt machinery
+// exactly once, so the node's per-class accounting and engine stats must
+// deep-equal a plain standalone arrivals.Run of the full trace.
+func TestDifferentialResilientSingleNodeDecomposes(t *testing.T) {
+	tr := testTrace(t, 40000, 58)
+
+	rc := testRunConfig(1, NewRoundRobin())
+	// Hedging armed but structurally inert: a single-node fleet has no other
+	// node to hedge on, so the manager is live while the dispatch stream must
+	// stay untouched.
+	rc.Resilience = &resilience.Spec{Hedge: &resilience.HedgePolicy{Quantile: 0.5, MinObs: 1}}
+	res, err := Run(tr, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hedges != 0 || res.Retries != 0 || res.Dropped != 0 || res.Shed != 0 {
+		t.Fatalf("single-node run hedged/retried/dropped/shed: %d/%d/%d/%d",
+			res.Hedges, res.Retries, res.Dropped, res.Shed)
+	}
+	if res.ReqCompleted != len(tr.Arrivals) {
+		t.Fatalf("completed %d of %d requests", res.ReqCompleted, len(tr.Arrivals))
+	}
+
+	sys := rc.Sys
+	sys.Seed = nodeSeed(rc.Sys.Seed, 0, 0)
+	sys.ContextCapacity = arrivals.ContextCapacityFor(tr)
+	solo, err := arrivals.Run(tr, arrivals.RunConfig{
+		Sys:       sys,
+		Policy:    rc.Policy,
+		Mechanism: rc.Mechanism,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := &res.Nodes[0]
+	if n.Admitted != solo.Admitted || n.Completed != solo.Completed || n.Missed != solo.Missed {
+		t.Errorf("node counters (%d/%d/%d) != standalone (%d/%d/%d)",
+			n.Admitted, n.Completed, n.Missed, solo.Admitted, solo.Completed, solo.Missed)
+	}
+	if !reflect.DeepEqual(n.Classes, solo.Classes) {
+		t.Errorf("per-class accounting diverged from the standalone run")
+	}
+	if n.Stats != solo.Stats {
+		t.Errorf("node stats %+v != standalone %+v", n.Stats, solo.Stats)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/metrics"
+	"repro/internal/resilience"
 	"repro/internal/sim"
 )
 
@@ -297,6 +298,15 @@ func (c *Cluster) scaleUp(k int, at sim.Time) {
 		c.nextAt = append(c.nextAt, 0)
 		c.hasNext = append(c.hasNext, false)
 		c.scaleUps++
+		if c.res != nil {
+			n.resLive = make(map[int]struct{})
+			if c.breakers != nil {
+				c.breakers = append(c.breakers, resilience.NewBreaker(*c.res.Breaker))
+			}
+		}
+	}
+	if c.res != nil {
+		c.drainQueues(at)
 	}
 }
 

@@ -124,24 +124,30 @@ func (c *Cluster) killNode(n *Node, at sim.Time) {
 	n.Sys = nil
 	c.hasNext[n.Index] = false
 
-	// Sort the in-flight arrival indices so the re-dispatch order (and with
-	// it every downstream dispatcher decision) is deterministic.
-	idxs := make([]int, 0, len(n.pending))
-	for i := range n.pending {
-		idxs = append(idxs, i)
-	}
-	sort.Ints(idxs)
-	for _, i := range idxs {
-		a := &c.tr.Arrivals[i]
-		n.lost++
-		c.lost++
-		n.Acct.Lose(a.Class)
-		n.inflightByApp[a.App]--
-		c.lostWork += at - n.pending[i]
-	}
-	clear(n.pending)
-	for _, i := range idxs {
-		c.place(i, at)
+	if c.res != nil {
+		// Resilient path: ghosts die quietly, live attempts take the retry
+		// decision (backoff, budget) instead of an unconditional re-dispatch.
+		c.killAttempts(n, at)
+	} else {
+		// Sort the in-flight arrival indices so the re-dispatch order (and
+		// with it every downstream dispatcher decision) is deterministic.
+		idxs := make([]int, 0, len(n.pending))
+		for i := range n.pending {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		for _, i := range idxs {
+			a := &c.tr.Arrivals[i]
+			n.lost++
+			c.lost++
+			n.Acct.Lose(a.Class)
+			n.inflightByApp[a.App]--
+			c.lostWork += at - n.pending[i]
+		}
+		clear(n.pending)
+		for _, i := range idxs {
+			c.place(i, at)
+		}
 	}
 
 	restartAt := at + c.faults.Downtime
@@ -162,4 +168,12 @@ func (c *Cluster) restart(n *Node, at sim.Time) {
 	n.state = NodeUp
 	n.upSince = at
 	c.refresh(n.Index)
+	if c.res != nil {
+		// A fresh incarnation starts with a clean breaker, and the restored
+		// capacity may admit queued work.
+		if c.breakers != nil {
+			c.breakers[n.Index].Reset(at)
+		}
+		c.drainQueues(at)
+	}
 }

@@ -39,6 +39,17 @@ func FuzzReadClusterConfig(f *testing.F) {
 	f.Add(`{"nodes": 4, "faults": {"kill_rate": -3}}`)
 	f.Add(`{"nodes": 4, "faults": {"straggler_frac": 1.5}}`)
 	f.Add(`{"nodes": 4, "faults": {"straggler_frac": 0.25, "slow_factor": 3}}`)
+	f.Add(`{"nodes": 4, "resilience": {"timeout": 400000, "retry": {"max_attempts": 4, "backoff_base": 20000, "budget": {"tokens": 10, "ratio": 0.1}}}}`)
+	f.Add(`{"nodes": 4, "resilience": {"hedge": {"quantile": 0.95, "min_obs": 16, "max_hedges": 1}, "shed": {"per_node": 8, "queue": 32}}}`)
+	f.Add(`{"nodes": 4, "resilience": {"breaker": {"window": 500000, "error_rate": 0.5, "min_volume": 8, "cooldown": 250000, "probes": 2}}}`)
+	f.Add(`{"nodes": 4, "resilience": {"timeout": -1}}`)
+	f.Add(`{"nodes": 4, "resilience": {"retry": {"max_attempts": -2}}}`)
+	f.Add(`{"nodes": 4, "resilience": {"retry": {"budget": {"tokens": -5}}}}`)
+	f.Add(`{"nodes": 4, "resilience": {"retry": {"backoff_base": 100, "backoff_max": 10}}}`)
+	f.Add(`{"nodes": 4, "resilience": {"hedge": {"quantile": 1.5}}}`)
+	f.Add(`{"nodes": 4, "resilience": {"breaker": {"error_rate": -0.5}}}`)
+	f.Add(`{"nodes": 4, "resilience": {"shed": {"per_node": -1}}}`)
+	f.Add(`{"nodes": 4, "resilience": null}`)
 	f.Fuzz(func(t *testing.T, data string) {
 		c, err := ReadConfig(strings.NewReader(data))
 		if err != nil {

@@ -184,6 +184,18 @@ type ClassSLO struct {
 	// fresh admission). Admitted - Completed - Lost is the in-flight
 	// population.
 	Admitted, Completed, Missed, Lost int
+	// The request-resilience layer adds four attempt outcomes and two
+	// request outcomes. TimedOut counts attempts abandoned at their deadline;
+	// Canceled counts hedge losers cancelled when the other attempt won (an
+	// abandoned attempt leaves the live population the moment it is counted,
+	// even if its work drains on the node as a ghost); Retried and Hedged
+	// count attempts that were re-dispatches and hedges, attributed to the
+	// node that received them (both are subsets of Admitted). Dropped counts
+	// requests that ran out of retries or budget, attributed to the node of
+	// the final failing attempt; Shed counts requests refused by admission
+	// control before any dispatch — a fleet-level outcome, so per-node
+	// accounts always carry Shed == 0 and only the cluster rollup fills it.
+	TimedOut, Canceled, Retried, Hedged, Dropped, Shed int
 	// Wait sketches the queueing latency, Latency the completion latency.
 	Wait, Latency Sketch
 }
@@ -197,9 +209,12 @@ func (c *ClassSLO) MissRate() float64 {
 	return float64(c.Missed) / float64(c.Completed)
 }
 
-// InFlight returns the admitted-but-not-completed population (attempts lost
-// to node failures are no longer in flight).
-func (c *ClassSLO) InFlight() int { return c.Admitted - c.Completed - c.Lost }
+// InFlight returns the live attempt population: admitted attempts not yet
+// completed, lost to a node failure, or abandoned by the resilience layer
+// (timed out or cancelled).
+func (c *ClassSLO) InFlight() int {
+	return c.Admitted - c.Completed - c.Lost - c.TimedOut - c.Canceled
+}
 
 // SLOAccount aggregates per-class SLO accounting for an open-system run.
 // All updates are O(1) and allocation-free; the account never retains
@@ -224,6 +239,26 @@ func (a *SLOAccount) Admit(class int) { a.Classes[class].Admitted++ }
 // Lose records one admitted attempt of the given class destroyed by a node
 // failure before it completed.
 func (a *SLOAccount) Lose(class int) { a.Classes[class].Lost++ }
+
+// TimeOut records one live attempt of the given class abandoned at its
+// per-attempt deadline.
+func (a *SLOAccount) TimeOut(class int) { a.Classes[class].TimedOut++ }
+
+// CancelAttempt records one live attempt of the given class cancelled
+// because the other hedge attempt won.
+func (a *SLOAccount) CancelAttempt(class int) { a.Classes[class].Canceled++ }
+
+// Retry marks one admitted attempt of the given class as a retry
+// re-dispatch (call alongside Admit on the node that received it).
+func (a *SLOAccount) Retry(class int) { a.Classes[class].Retried++ }
+
+// Hedge marks one admitted attempt of the given class as a hedge (call
+// alongside Admit on the node that received it).
+func (a *SLOAccount) Hedge(class int) { a.Classes[class].Hedged++ }
+
+// Drop records one request of the given class dropped after exhausting its
+// retries or retry budget, attributed to the final failing attempt's node.
+func (a *SLOAccount) Drop(class int) { a.Classes[class].Dropped++ }
 
 // Issued records a request's queueing latency: its first thread block
 // reached an SM wait after the request's arrival.
@@ -260,6 +295,12 @@ func (a *SLOAccount) Merge(o *SLOAccount) error {
 		c.Completed += oc.Completed
 		c.Missed += oc.Missed
 		c.Lost += oc.Lost
+		c.TimedOut += oc.TimedOut
+		c.Canceled += oc.Canceled
+		c.Retried += oc.Retried
+		c.Hedged += oc.Hedged
+		c.Dropped += oc.Dropped
+		c.Shed += oc.Shed
 		c.Wait.Merge(&oc.Wait)
 		c.Latency.Merge(&oc.Latency)
 	}
@@ -303,12 +344,17 @@ func (a *SLOAccount) Goodput(end sim.Time) float64 {
 func (a *SLOAccount) Validate() error {
 	for i := range a.Classes {
 		c := &a.Classes[i]
-		if c.Lost < 0 {
-			return fmt.Errorf("metrics: class %s negative lost count %d", c.Name, c.Lost)
+		if c.Lost < 0 || c.TimedOut < 0 || c.Canceled < 0 || c.Retried < 0 ||
+			c.Hedged < 0 || c.Dropped < 0 || c.Shed < 0 {
+			return fmt.Errorf("metrics: class %s has a negative lifecycle counter", c.Name)
 		}
-		if c.Completed+c.Lost > c.Admitted {
-			return fmt.Errorf("metrics: class %s completed %d + lost %d > admitted %d",
-				c.Name, c.Completed, c.Lost, c.Admitted)
+		if c.Completed+c.Lost+c.TimedOut+c.Canceled > c.Admitted {
+			return fmt.Errorf("metrics: class %s completed %d + lost %d + timed out %d + canceled %d > admitted %d",
+				c.Name, c.Completed, c.Lost, c.TimedOut, c.Canceled, c.Admitted)
+		}
+		if c.Retried+c.Hedged > c.Admitted {
+			return fmt.Errorf("metrics: class %s retried %d + hedged %d > admitted %d",
+				c.Name, c.Retried, c.Hedged, c.Admitted)
 		}
 		if c.Missed > c.Completed {
 			return fmt.Errorf("metrics: class %s missed %d > completed %d", c.Name, c.Missed, c.Completed)

@@ -189,3 +189,85 @@ func TestSLOAccountMerge(t *testing.T) {
 		t.Error("merge accepted an account with a different class table")
 	}
 }
+
+// TestSLOAccountLifecycleCounters exercises the resilience-layer counters:
+// timeouts and cancels leave the live population, retries/hedges mark subsets
+// of admissions, and Merge folds all of them.
+func TestSLOAccountLifecycleCounters(t *testing.T) {
+	classes := []trace.ArrivalClass{{Name: "rt", Deadline: 100}, {Name: "batch"}}
+	a := NewSLOAccount(classes)
+	// Request 1: first attempt times out, retry completes.
+	a.Admit(0)
+	a.TimeOut(0)
+	a.Admit(0)
+	a.Retry(0)
+	a.Complete(0, 40)
+	// Request 2: primary hedged; hedge wins, primary cancelled.
+	a.Admit(0)
+	a.Admit(0)
+	a.Hedge(0)
+	a.Complete(0, 90)
+	a.CancelAttempt(0)
+	// Request 3: times out, no budget left, dropped.
+	a.Admit(1)
+	a.TimeOut(1)
+	a.Drop(1)
+
+	rt, batch := &a.Classes[0], &a.Classes[1]
+	if rt.TimedOut != 1 || rt.Canceled != 1 || rt.Retried != 1 || rt.Hedged != 1 {
+		t.Errorf("rt lifecycle counters = %d/%d/%d/%d, want 1/1/1/1",
+			rt.TimedOut, rt.Canceled, rt.Retried, rt.Hedged)
+	}
+	if rt.InFlight() != 0 {
+		t.Errorf("rt in-flight = %d, want 0 (timeouts and cancels leave the live set)", rt.InFlight())
+	}
+	if batch.Dropped != 1 || batch.TimedOut != 1 || batch.InFlight() != 0 {
+		t.Errorf("batch = dropped %d, timed out %d, in-flight %d, want 1/1/0",
+			batch.Dropped, batch.TimedOut, batch.InFlight())
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("consistent lifecycle account failed validation: %v", err)
+	}
+
+	b := NewSLOAccount(classes)
+	b.Admit(0)
+	b.TimeOut(0)
+	b.Drop(0)
+	b.Classes[1].Shed = 3
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	rt = &a.Classes[0]
+	if rt.TimedOut != 2 || rt.Dropped != 1 || a.Classes[1].Shed != 3 {
+		t.Errorf("merge lost lifecycle counters: timed out %d, dropped %d, shed %d",
+			rt.TimedOut, rt.Dropped, a.Classes[1].Shed)
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("merged lifecycle account failed validation: %v", err)
+	}
+}
+
+// TestSLOAccountValidateRejectsLifecycle pins the extended consistency
+// checks.
+func TestSLOAccountValidateRejectsLifecycle(t *testing.T) {
+	classes := []trace.ArrivalClass{{Name: "rt"}}
+	neg := NewSLOAccount(classes)
+	neg.Classes[0].TimedOut = -1
+	if err := neg.Validate(); err == nil {
+		t.Error("negative lifecycle counter accepted")
+	}
+	over := NewSLOAccount(classes)
+	over.Admit(0)
+	over.TimeOut(0)
+	over.CancelAttempt(0)
+	if err := over.Validate(); err == nil {
+		t.Error("timed out + canceled > admitted accepted")
+	}
+	marks := NewSLOAccount(classes)
+	marks.Admit(0)
+	marks.Retry(0)
+	marks.Hedge(0)
+	if err := marks.Validate(); err == nil {
+		t.Error("retried + hedged > admitted accepted")
+	}
+}

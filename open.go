@@ -183,6 +183,12 @@ type ClassReport struct {
 	// LatencyP50/P95/P99 are completion-latency percentiles (arrival to
 	// run completion).
 	LatencyP50, LatencyP95, LatencyP99 time.Duration
+	// The lifecycle counters below are non-zero only under a cluster run
+	// with Options.Resilience set. TimedOut/Canceled count abandoned
+	// attempts, Retried/Hedged count extra attempts launched, Dropped
+	// counts requests abandoned for good, and Shed counts requests refused
+	// by admission control before reaching any GPU.
+	TimedOut, Canceled, Retried, Hedged, Dropped, Shed int
 }
 
 // OpenResult reports an open-system simulation.
@@ -263,5 +269,11 @@ func classReport(c *metrics.ClassSLO) ClassReport {
 		LatencyP50: time.Duration(c.Latency.Quantile(0.50)),
 		LatencyP95: time.Duration(c.Latency.Quantile(0.95)),
 		LatencyP99: time.Duration(c.Latency.Quantile(0.99)),
+		TimedOut:   c.TimedOut,
+		Canceled:   c.Canceled,
+		Retried:    c.Retried,
+		Hedged:     c.Hedged,
+		Dropped:    c.Dropped,
+		Shed:       c.Shed,
 	}
 }

@@ -195,6 +195,11 @@ type Options struct {
 	// deterministically: seeded node kills and restarts, plus straggler
 	// incarnations.
 	Faults *FaultPlan
+	// Resilience, when non-nil, arms RunCluster's request-lifecycle manager:
+	// per-attempt deadlines, budgeted retries with backoff, hedged requests,
+	// per-node circuit breakers and admission-control load shedding. A
+	// zero-valued spec arms nothing and is bit-for-bit inert.
+	Resilience *ResilienceSpec
 	// DispatchSeed drives randomized dispatch policies (DispatchPowerOfTwo)
 	// separately from the machine's jitter seed; 0 falls back to Seed.
 	DispatchSeed uint64
