@@ -411,3 +411,82 @@ func BenchmarkRunOpen(b *testing.B) {
 	}
 	b.ReportMetric(float64(last.Admitted), "requests")
 }
+
+// benchClusterOpts builds the cluster-scale benchmark configuration: a
+// million-arrival Poisson stream dispatched round-robin across 64 GPUs
+// under PPQ+adaptive. The apps are scaled to minimal thread-block counts so
+// the run exercises the cluster machinery (dispatch, admission, the
+// window/lockstep executors, merge) rather than intra-GPU simulation. The
+// stream is synthesized once and replayed as a trace, so every sub-benchmark
+// iteration measures simulation only.
+func benchClusterOpts(b *testing.B) Options {
+	b.Helper()
+	spmv, err := AppByName("spmv")
+	if err != nil {
+		b.Fatal(err)
+	}
+	lbm, err := AppByName("lbm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := &ArrivalSpec{
+		Process:     ArrivalPoisson,
+		Rate:        2e6,
+		Horizon:     2 * time.Second,
+		MaxArrivals: 1_000_000,
+		Classes: []ArrivalClass{
+			{Name: "rt", Priority: 1, Weight: 1, Deadline: 250 * time.Microsecond, Apps: []*App{spmv.Scale(1 << 20)}},
+			{Name: "batch", Priority: 0, Weight: 3, Apps: []*App{lbm.Scale(1 << 20)}},
+		},
+	}
+	opts := Options{
+		Policy:    PolicyPPQ,
+		Mechanism: MechanismAdaptive,
+		Seed:      7,
+		Nodes:     64,
+		Dispatch:  DispatchRoundRobin,
+		Arrivals:  spec,
+	}
+	tr, err := spec.Synthesize(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts.Arrivals = &ArrivalSpec{Trace: tr}
+	return opts
+}
+
+// BenchmarkRunCluster measures the cluster hot path end to end through the
+// public facade on a million-arrival, 64-GPU round-robin fleet: lockstep is
+// the event-by-event reference; window=N runs the parallel-in-time executor
+// on N workers. Results are byte-identical across all sub-benchmarks — only
+// the wall-clock changes — so comparing the lockstep and window lines shows
+// the windowed executor's speedup (≥2x expected on a multicore host; on a
+// single-CPU host window=1 still wins by replacing the per-event fleet scan
+// with per-node batch execution). The lockstep and window=8 lines are gated
+// by the benchcheck CI job via bench_baseline.json.
+func BenchmarkRunCluster(b *testing.B) {
+	opts := benchClusterOpts(b)
+	for _, workers := range []int{0, 1, 8} {
+		name := "lockstep"
+		if workers > 0 {
+			name = fmt.Sprintf("window=%d", workers)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			opts.ParWindow = workers
+			b.ResetTimer()
+			var last *ClusterResult
+			for i := 0; i < b.N; i++ {
+				res, err := RunCluster(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			if last.Completed != opts.Arrivals.Trace.Len() {
+				b.Fatalf("completed %d of %d arrivals", last.Completed, opts.Arrivals.Trace.Len())
+			}
+			b.ReportMetric(float64(last.Completed)/b.Elapsed().Seconds()*float64(b.N), "requests/s")
+		})
+	}
+}

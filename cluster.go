@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/resilience"
+	"repro/internal/rng"
 	"repro/internal/sim"
 )
 
@@ -420,6 +421,43 @@ func ReadClusterTopology(r io.Reader, o Options) (Options, error) {
 	return o, nil
 }
 
+// warmSeedTag namespaces the warmup stream's seed derivation, so warm-start
+// traffic never duplicates the measured stream.
+const warmSeedTag = 0x3A47
+
+// clusterWarmth plays a warmup stream through a throwaway fleet and returns
+// the dispatcher's learned state for the measured run. A synthetic spec
+// warms up on a re-seeded stream truncated to Options.WarmStart; a replayed
+// trace warms up on the trace itself.
+func clusterWarmth(o Options, crc cluster.RunConfig) (*cluster.Warmth, error) {
+	spec := *o.Arrivals
+	if spec.Trace == nil {
+		seed := spec.Seed
+		if seed == 0 {
+			seed = o.Seed
+		}
+		spec.Seed = rng.SeedFrom(seed, warmSeedTag)
+		spec.Horizon = o.WarmStart
+		spec.MaxArrivals = 0
+	}
+	wat, err := spec.Synthesize(o)
+	if err != nil {
+		return nil, err
+	}
+	wc, err := cluster.New(wat.t, crc)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := wc.Run(); err != nil {
+		return nil, fmt.Errorf("repro: warm-start run: %w", err)
+	}
+	w, err := wc.Warmth()
+	if err != nil {
+		return nil, fmt.Errorf("repro: warm-start: %w", err)
+	}
+	return w, nil
+}
+
 // RunCluster simulates the open-system workload described by o.Arrivals on a
 // fleet of simulated GPUs behind the o.Dispatch placement policy. The fleet
 // starts as o.Nodes identical GPUs (or the heterogeneous o.NodeTypes) and —
@@ -442,10 +480,6 @@ func RunCluster(o Options) (*ClusterResult, error) {
 	if dispSeed == 0 {
 		dispSeed = o.Seed
 	}
-	disp, err := cluster.NewDispatcher(cluster.Kind(o.Dispatch), dispSeed)
-	if err != nil {
-		return nil, err
-	}
 	at, err := o.Arrivals.Synthesize(o)
 	if err != nil {
 		return nil, err
@@ -454,31 +488,55 @@ func RunCluster(o Options) (*ClusterResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	crc := cluster.RunConfig{
-		Sys:        rc.Sys,
-		Nodes:      nodes,
-		Dispatcher: disp,
-		Policy:     rc.Policy,
-		Mechanism:  rc.Mechanism,
-		MaxSimTime: rc.MaxSimTime,
+	// Dispatchers and autoscalers are stateful and single-use, so the
+	// warm-start path below needs a fresh RunConfig per cluster run.
+	newCRC := func() (cluster.RunConfig, error) {
+		disp, err := cluster.NewDispatcher(cluster.Kind(o.Dispatch), dispSeed)
+		if err != nil {
+			return cluster.RunConfig{}, err
+		}
+		crc := cluster.RunConfig{
+			Sys:        rc.Sys,
+			Nodes:      nodes,
+			Dispatcher: disp,
+			Policy:     rc.Policy,
+			Mechanism:  rc.Mechanism,
+			MaxSimTime: rc.MaxSimTime,
+			Parallel:   o.ParWindow,
+		}
+		for _, t := range o.NodeTypes {
+			crc.NodeTypes = append(crc.NodeTypes, cluster.NodeType{
+				Count: t.Count, SMs: t.SMs, PCIeGen: t.PCIeGen, SlowFactor: t.SlowFactor,
+			})
+		}
+		if o.Autoscale != nil {
+			asc, err := cluster.NewStepAutoscaler(o.Autoscale.lower())
+			if err != nil {
+				return cluster.RunConfig{}, err
+			}
+			crc.Autoscale = asc
+		}
+		if o.Faults != nil {
+			crc.Faults = o.Faults.lower()
+		}
+		if o.Resilience != nil {
+			crc.Resilience = o.Resilience.lower()
+		}
+		return crc, nil
 	}
-	for _, t := range o.NodeTypes {
-		crc.NodeTypes = append(crc.NodeTypes, cluster.NodeType{
-			Count: t.Count, SMs: t.SMs, PCIeGen: t.PCIeGen, SlowFactor: t.SlowFactor,
-		})
+	crc, err := newCRC()
+	if err != nil {
+		return nil, err
 	}
-	if o.Autoscale != nil {
-		asc, err := cluster.NewStepAutoscaler(o.Autoscale.lower())
+	if o.WarmStart > 0 {
+		w, err := clusterWarmth(o, crc)
 		if err != nil {
 			return nil, err
 		}
-		crc.Autoscale = asc
-	}
-	if o.Faults != nil {
-		crc.Faults = o.Faults.lower()
-	}
-	if o.Resilience != nil {
-		crc.Resilience = o.Resilience.lower()
+		if crc, err = newCRC(); err != nil {
+			return nil, err
+		}
+		crc.Warmth = w
 	}
 	res, err := cluster.Run(at.t, crc)
 	if err != nil {

@@ -124,8 +124,19 @@ func check(base *Baseline, got map[string]Measurement, maxRegress float64) []str
 			problems = append(problems, fmt.Sprintf("%s: %.1f ns/op regressed more than %.0f%% over baseline %.1f",
 				name, have.NsPerOp, maxRegress*100, want.NsPerOp))
 		}
-		// Half-an-allocation of absolute slack: a 0-alloc baseline fails on
-		// the first new allocation, without tripping on formatting noise.
+		// A zero-alloc baseline is a hard gate, not a percentage: any
+		// fraction of a baseline of zero is still zero, so a relative bound
+		// alone could never fail it no matter how loose or tight
+		// -max-regress is. The first new allocation fails outright.
+		if want.AllocsPerOp == 0 {
+			if have.AllocsPerOp > 0 {
+				problems = append(problems, fmt.Sprintf("%s: %.1f allocs/op regressed over zero-alloc baseline",
+					name, have.AllocsPerOp))
+			}
+			continue
+		}
+		// Half-an-allocation of absolute slack on non-zero baselines, so the
+		// gate does not trip on formatting noise.
 		if have.AllocsPerOp > want.AllocsPerOp*(1+maxRegress)+0.5 {
 			problems = append(problems, fmt.Sprintf("%s: %.1f allocs/op regressed over baseline %.1f",
 				name, have.AllocsPerOp, want.AllocsPerOp))

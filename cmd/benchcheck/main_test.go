@@ -75,6 +75,15 @@ func TestCheck(t *testing.T) {
 	}
 	got["BenchmarkIssueCompleteTB"] = Measurement{NsPerOp: 100000, AllocsPerOp: 0}
 
+	// A non-zero baseline within the relative bound stays quiet even when a
+	// zero-baseline regression elsewhere must fail, so the hard gate is
+	// per-benchmark, not global.
+	got["BenchmarkPreemptLatency/adaptive"] = Measurement{NsPerOp: 2500000, AllocsPerOp: 61}
+	if problems := check(base, got, 0.25); len(problems) != 0 {
+		t.Errorf("61 vs 60 allocs/op within 25%% flagged: %v", problems)
+	}
+	got["BenchmarkPreemptLatency/adaptive"] = Measurement{NsPerOp: 2500000, AllocsPerOp: 60}
+
 	// A baselined benchmark missing from the run fails.
 	base.Benchmarks["BenchmarkGone"] = Measurement{NsPerOp: 1}
 	problems = check(base, got, 0.25)
@@ -87,6 +96,38 @@ func TestCheck(t *testing.T) {
 	got["BenchmarkPreemptLatency/draining"] = Measurement{NsPerOp: 500, AllocsPerOp: 0}
 	if problems := check(base, got, 0.25); len(problems) != 0 {
 		t.Errorf("improvement flagged: %v", problems)
+	}
+}
+
+// TestCheckZeroBaselineHardFailure pins the synthetic 0 → 1 allocs/op
+// regression: a zero-alloc baseline is an absolute gate, so the failure must
+// hold at any -max-regress value — a percentage of a zero baseline is always
+// zero, and before the explicit zero-baseline branch a loose enough
+// threshold plus absolute slack could wave the first allocation through.
+func TestCheckZeroBaselineHardFailure(t *testing.T) {
+	base := &Baseline{Benchmarks: map[string]Measurement{
+		"BenchmarkRetryPath": {NsPerOp: 1000, AllocsPerOp: 0},
+	}}
+	got := map[string]Measurement{
+		"BenchmarkRetryPath": {NsPerOp: 1000, AllocsPerOp: 1},
+	}
+	for _, maxRegress := range []float64{0, 0.25, 1, 10, 1e9} {
+		problems := check(base, got, maxRegress)
+		if len(problems) != 1 || !strings.Contains(problems[0], "zero-alloc baseline") {
+			t.Errorf("max-regress %g: 0 -> 1 allocs/op not flagged as hard failure: %v",
+				maxRegress, problems)
+		}
+	}
+	// Fractional measurement noise above zero still fails: any increase from
+	// a zero baseline is a real allocation on some iteration.
+	got["BenchmarkRetryPath"] = Measurement{NsPerOp: 1000, AllocsPerOp: 0.4}
+	if problems := check(base, got, 0.25); len(problems) != 1 {
+		t.Errorf("0 -> 0.4 allocs/op not flagged: %v", problems)
+	}
+	// Staying at zero passes.
+	got["BenchmarkRetryPath"] = Measurement{NsPerOp: 1000, AllocsPerOp: 0}
+	if problems := check(base, got, 0.25); len(problems) != 0 {
+		t.Errorf("clean zero-alloc run flagged: %v", problems)
 	}
 }
 

@@ -36,6 +36,7 @@ func main() {
 		scale    = flag.Int("scale", 1, "benchmark scale factor (1 = paper-faithful, larger = faster)")
 		minRuns  = flag.Int("runs", 3, "completed runs per application")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations (1 = sequential; results are identical at any value)")
+		parWin   = flag.Int("par-window", 0, "parallel-in-time workers inside each cluster simulation (0 = lockstep; results are identical at any value)")
 		outDir   = flag.String("out", "", "directory for CSV output (empty = text only)")
 		quiet    = flag.Bool("q", false, "suppress per-simulation progress")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -55,12 +56,13 @@ func main() {
 	}()
 
 	opts := experiments.Options{
-		Sizes:   parseSizes(*sizes),
-		PerSize: *n,
-		Seed:    *seed,
-		Scale:   *scale,
-		MinRuns: *minRuns,
-		Workers: *parallel,
+		Sizes:     parseSizes(*sizes),
+		PerSize:   *n,
+		Seed:      *seed,
+		Scale:     *scale,
+		MinRuns:   *minRuns,
+		Workers:   *parallel,
+		ParWindow: *parWin,
 	}
 	if !*quiet {
 		opts.Progress = os.Stderr

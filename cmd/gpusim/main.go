@@ -86,12 +86,37 @@ func main() {
 		downtime = flag.Duration("downtime", 500*time.Microsecond, "fault injection: how long a killed GPU stays down")
 		straggle = flag.Float64("straggler", 0, "fault injection: probability each GPU incarnation is a straggler")
 		slowF    = flag.Float64("slow-factor", 2, "fault injection: straggler service-time multiplier")
+		parWin   = flag.Int("par-window", 0, "cluster runs: execute GPU engines in parallel-in-time windows on this many workers (0 = lockstep; output is byte-identical either way)")
+		warmup   = flag.Duration("warm-start", 0, "cluster runs: play a warmup stream of this duration first and carry the dispatcher's learned state into the measured run")
 		reps     = flag.Int("reps", 1, "simulate this many replicas of the workload under derived seeds")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent replica simulations")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	// Reject out-of-range numeric flags up front with a clear message: a
+	// non-positive rate or horizon would synthesize an empty stream (or spin
+	// forever), zero GPUs has no machine to simulate, and a negative kill
+	// rate or worker count has no meaning.
+	if *gpus < 1 {
+		fatal(fmt.Errorf("-gpus must be at least 1, got %d", *gpus))
+	}
+	if *rate <= 0 {
+		fatal(fmt.Errorf("-rate must be positive (requests per simulated second), got %g", *rate))
+	}
+	if *horizon <= 0 {
+		fatal(fmt.Errorf("-horizon must be positive, got %v", *horizon))
+	}
+	if *killRate < 0 {
+		fatal(fmt.Errorf("-kill-rate must be non-negative, got %g", *killRate))
+	}
+	if *parWin < 0 {
+		fatal(fmt.Errorf("-par-window must be non-negative, got %d", *parWin))
+	}
+	if *warmup < 0 {
+		fatal(fmt.Errorf("-warm-start must be non-negative, got %v", *warmup))
+	}
 
 	var err error
 	stopProf, err = profiling.Start(*cpuProf, *memProf)
@@ -143,6 +168,8 @@ func main() {
 	}
 	opts.Nodes = *gpus
 	opts.Dispatch = repro.DispatchKind(*dispatch)
+	opts.ParWindow = *parWin
+	opts.WarmStart = *warmup
 	// Validate the policy name up front: a typo should fail identically
 	// whether or not this run's fleet size makes the dispatcher matter.
 	known := false

@@ -35,6 +35,7 @@ import (
 	"repro/internal/preempt"
 	"repro/internal/resilience"
 	"repro/internal/rng"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/system"
 	"repro/internal/trace"
@@ -81,13 +82,31 @@ type RunConfig struct {
 	// MaxSimTime aborts the simulation at this virtual time (0 = 120s).
 	MaxSimTime sim.Time
 	// MaxEvents aborts after this many events summed over all node engines
-	// (0 = 2e9).
+	// (0 = 2e9). The parallel-window path checks the limit at window
+	// granularity, so it may overshoot by up to one window before stopping.
 	MaxEvents uint64
+	// Parallel switches the run from the event-by-event lockstep reference
+	// to parallel-in-time window execution: node engines run independently
+	// inside conservative time windows on this many workers, with a
+	// deterministic merge at every window boundary. Results are
+	// byte-identical to the lockstep path at any worker count; 0 keeps the
+	// lockstep reference. A run with the resilience layer armed always uses
+	// lockstep — cross-node completion coupling (hedge cancellation, breaker
+	// feedback) shrinks the safe lookahead to zero (see DESIGN.md).
+	Parallel int
+	// Warmth, when non-nil, warm-starts the dispatcher from a snapshot of a
+	// previously drained fleet (see Cluster.Warmth), so a measurement run
+	// starts with learned predictor state instead of cold priors. The
+	// dispatcher policy must match the snapshot's.
+	Warmth *Warmth
 }
 
 func (rc *RunConfig) defaults() {
 	if rc.Nodes <= 0 && len(rc.NodeTypes) == 0 {
 		rc.Nodes = 1
+	}
+	if rc.Parallel < 0 {
+		rc.Parallel = 0
 	}
 	if rc.Dispatcher == nil {
 		rc.Dispatcher = NewRoundRobin()
@@ -138,6 +157,14 @@ type Node struct {
 	// cancellations) and ghostLost abandoned attempts destroyed with a kill.
 	resLive              map[int]struct{}
 	ghostDone, ghostLost int
+
+	// Parallel-window scratch (see parallel.go). Inside a window only the
+	// owning worker touches these; the merge at the window boundary drains
+	// them on the cluster goroutine.
+	winBuf []winEv    // completions buffered during the current window
+	winPos int        // merge cursor into winBuf
+	winErr error      // first admission error raised inside a window
+	shard  []shardEnt // pre-sharded arrivals awaiting engine insertion
 }
 
 // Admitted returns the number of dispatch attempts placed on this node.
@@ -294,6 +321,14 @@ type Cluster struct {
 
 	eligible []*Node // dispatch scratch: current Up nodes
 
+	// Parallel-window execution state (zero when the lockstep reference
+	// runs; see parallel.go).
+	parOn      bool
+	parWorkers int
+	pool       *runner.Pool
+	oblivious  bool    // dispatcher is LoadOblivious: arrivals pre-shard
+	winActive  []*Node // per-window scratch: nodes with work in the window
+
 	// nextAt/hasNext cache each node engine's next event timestamp. Node
 	// engines are isolated — an event on node i can only schedule on node i,
 	// and a dispatch touches only the chosen node — so the lockstep loop
@@ -423,6 +458,11 @@ func New(tr *trace.ArrivalTrace, rc RunConfig) (*Cluster, error) {
 	c.nextAt = make([]sim.Time, len(c.Nodes))
 	c.hasNext = make([]bool, len(c.Nodes))
 	c.disp.Reset(len(c.Nodes), len(tr.Classes), len(tr.Apps))
+	if rc.Warmth != nil {
+		if err := rc.Warmth.apply(c.disp); err != nil {
+			return nil, err
+		}
+	}
 	if rc.Autoscale != nil {
 		if rc.Autoscale.Interval() <= 0 {
 			return nil, fmt.Errorf("cluster: autoscaler %s has non-positive interval %v",
@@ -442,6 +482,13 @@ func New(tr *trace.ArrivalTrace, rc RunConfig) (*Cluster, error) {
 		}
 		c.initResilience()
 	}
+	// The resilience layer couples node completions across the fleet at
+	// event granularity (hedge cancellation, breaker feedback), which
+	// shrinks the safe parallel lookahead to zero — it always runs on the
+	// lockstep reference.
+	c.parOn = rc.Parallel >= 1 && c.res == nil
+	c.parWorkers = rc.Parallel
+	_, c.oblivious = c.disp.(LoadOblivious)
 	return c, nil
 }
 
@@ -458,13 +505,22 @@ func Run(tr *trace.ArrivalTrace, rc RunConfig) (*Result, error) {
 	return c.Run()
 }
 
-// Run drives the lockstep loop to completion and assembles the result.
+// Run drives the lockstep loop (or its parallel-window equivalent) to
+// completion and assembles the result.
 func (c *Cluster) Run() (*Result, error) {
 	if c.ran {
 		return nil, fmt.Errorf("cluster: Run called twice (a Cluster is single-use)")
 	}
 	c.ran = true
-	if err := c.loop(); err != nil {
+	loop := c.loop
+	if c.parOn {
+		loop = c.parLoop
+		if c.parWorkers > 1 {
+			c.pool = runner.NewPool(c.parWorkers)
+			defer c.pool.Close()
+		}
+	}
+	if err := loop(); err != nil {
 		return nil, err
 	}
 	return c.result()
@@ -565,6 +621,18 @@ func (c *Cluster) dispatch(i int) {
 // (context allocation, process start) fires as a node event at time at, when
 // the node's clock is right.
 func (c *Cluster) place(i int, at sim.Time) {
+	n := c.pickNode(i, at)
+	if n == nil {
+		return
+	}
+	c.placeOn(n, i, at)
+	n.Sys.Eng.At(at, func() { c.admit(n, i) })
+	c.refresh(n.Index)
+}
+
+// pickNode runs the dispatcher over the currently eligible (Up) nodes for
+// arrival i and returns the chosen node, or nil after recording the error.
+func (c *Cluster) pickNode(i int, at sim.Time) *Node {
 	a := &c.tr.Arrivals[i]
 	elig := c.eligible[:0]
 	for _, n := range c.Nodes {
@@ -575,23 +643,29 @@ func (c *Cluster) place(i int, at sim.Time) {
 	c.eligible = elig
 	if len(elig) == 0 {
 		c.fail(fmt.Errorf("cluster: no Up node to dispatch request %d at %v", i, at))
-		return
+		return nil
 	}
 	pi := c.disp.Pick(at, a.Class, a.App, elig)
 	if pi < 0 || pi >= len(elig) {
 		c.fail(fmt.Errorf("cluster: dispatcher %s picked position %d of %d for request %d",
 			c.disp.Name(), pi, len(elig), i))
-		return
+		return nil
 	}
-	n := elig[pi]
+	return elig[pi]
+}
+
+// placeOn applies the cluster- and dispatcher-visible bookkeeping of placing
+// arrival i on node n, so a later arrival at the same timestamp already sees
+// this request. The engine-side admission is scheduled separately — by place
+// in lockstep, by the window runner on the pre-shard path.
+func (c *Cluster) placeOn(n *Node, i int, at sim.Time) {
+	a := &c.tr.Arrivals[i]
 	n.admitted++
 	c.admitted++
 	n.inflightByApp[a.App]++
 	n.Acct.Admit(a.Class)
 	n.pending[i] = at
 	c.disp.Dispatched(n.Index, a.Class, a.App)
-	n.Sys.Eng.At(at, func() { c.admit(n, i) })
-	c.refresh(n.Index)
 }
 
 // admit runs on the owning node's engine at the dispatch time: the shared
@@ -603,16 +677,28 @@ func (c *Cluster) admit(n *Node, i int) {
 	class, app := c.tr.Arrivals[i].Class, c.tr.Arrivals[i].App
 	err := arrivals.AdmitRequest(n.Sys, n.Acct, c.tr, i, func(exec sim.Time) {
 		n.finished++
-		c.finished++
 		n.inflightByApp[app]--
 		delete(n.pending, i)
+		if c.parOn {
+			// Inside a window only node-local state may move; the
+			// cluster-visible effects (fleet counter, dispatcher feedback,
+			// retirement) replay in deterministic merge order at the window
+			// boundary. The drain check captures this exact moment's
+			// node-local view — by merge time the counters have moved on.
+			n.winBuf = append(n.winBuf, winEv{
+				at: n.Sys.Eng.Now(), class: class, app: app, exec: exec,
+				retire: n.state == NodeDraining && n.InFlight() == 0,
+			})
+			return
+		}
+		c.finished++
 		c.disp.Completed(n.Index, class, app, exec)
 		if n.state == NodeDraining && n.InFlight() == 0 {
 			c.retire(n, c.now)
 		}
 	})
 	if err != nil {
-		c.fail(fmt.Errorf("cluster: admitting request %d on node %d: %w", i, n.Index, err))
+		c.nodeFail(n, fmt.Errorf("cluster: admitting request %d on node %d: %w", i, n.Index, err))
 	}
 }
 
@@ -620,6 +706,20 @@ func (c *Cluster) fail(err error) {
 	if c.err == nil {
 		c.err = err
 	}
+}
+
+// nodeFail records an error raised on a node's engine. Inside a parallel
+// window it lands in the node's private slot (c.err is shared); the merge
+// promotes the lowest-index node's error, so failing runs abort with a
+// deterministic error at any worker count.
+func (c *Cluster) nodeFail(n *Node, err error) {
+	if c.parOn {
+		if n.winErr == nil {
+			n.winErr = err
+		}
+		return
+	}
+	c.fail(err)
 }
 
 // result rolls the per-node accounts up into the fleet-wide report and

@@ -133,6 +133,22 @@ func (d *roundRobin) Pick(at sim.Time, class, app int, nodes []*Node) int {
 	return i
 }
 
+// LoadObliviousDispatch marks round-robin safe for arrival pre-sharding: Pick
+// reads only the cursor and the eligible-set length, never node load or
+// completion feedback, so decisions for a whole arrival batch can be computed
+// before any of the batch's completions merge.
+func (d *roundRobin) LoadObliviousDispatch() {}
+
+// WarmState and WarmStart carry round-robin's only state, the cursor, across
+// runs — mostly so warm-started sweeps behave uniformly across policies.
+func (d *roundRobin) WarmState() any { return d.next }
+
+func (d *roundRobin) WarmStart(state any) {
+	if v, ok := state.(int); ok {
+		d.next = v
+	}
+}
+
 // --- join-shortest-queue ---------------------------------------------------
 
 type jsq struct{ noopHooks }
@@ -196,6 +212,17 @@ func (d *leastLoaded) weight(app int) float64 {
 		return w
 	}
 	return 1
+}
+
+// WarmState and WarmStart carry the learned service-time estimates across
+// runs, so a measurement run starts with a converged predictor instead of
+// the cold join-shortest-queue fallback.
+func (d *leastLoaded) WarmState() any { return d.est.Snapshot() }
+
+func (d *leastLoaded) WarmStart(state any) {
+	if m, ok := state.(map[int]float64); ok {
+		d.est.Restore(m)
+	}
 }
 
 func (d *leastLoaded) Pick(at sim.Time, class, app int, nodes []*Node) int {

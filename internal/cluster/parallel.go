@@ -1,0 +1,412 @@
+// Parallel-in-time cluster execution.
+//
+// The lockstep loop in cluster.go is the reference semantics: fire the
+// globally earliest event across the control engine, the arrival stream and
+// every node engine, with ties broken control < arrivals < node events and
+// node events by index. That total order is also why one cluster run is
+// single-threaded — every event waits for the global minimum.
+//
+// The observation that unlocks parallelism is that nodes only interact
+// through three serialization points, all of which are visible in advance:
+//
+//   - the next control event (autoscaler tick, kill, restart) at ctlAt,
+//   - the next undispatched arrival at tA (its dispatch may read fleet-wide
+//     load), and
+//   - MaxSimTime.
+//
+// Between now and B = min(tA, ctlAt, MaxSimTime+1) every pending node event
+// is node-local: an event on node i can only schedule on node i, and no
+// dispatch or fleet mutation can land before B. So all node engines may run
+// their events strictly before B independently — in parallel — provided the
+// cross-node effects of completions (the fleet counter, Dispatcher.Completed
+// feedback, drained-node retirement) are buffered and replayed at the window
+// boundary in exactly the lockstep order: ascending (time, node index), with
+// each node's buffer already in its engine's firing order. After the merge
+// the cluster state is indistinguishable from having run lockstep to B.
+//
+// Two refinements make the windows long enough to matter:
+//
+// Pre-sharding. A LoadOblivious dispatcher's Pick reads nothing but its own
+// internal state, so arrival dispatch stops being a serialization point: the
+// loop batches every arrival before the next control event, runs the
+// bookkeeping and Pick serially in arrival order (the eligible Up-set only
+// changes at control events), and appends each decision to the chosen node's
+// shard. The window then extends to the control horizon and each node
+// interleaves its shard into its own engine exactly where the lockstep
+// insertion would have happened: an admission is inserted the moment the
+// engine's next pending event is at or after the arrival time, which
+// reproduces the engine's insertion-order tie-break (equal-time events fire
+// FIFO by insertion) verbatim. On a fixed fleet with no faults this makes
+// the whole run one window per control gap — or a single window.
+//
+// Final windows. Once the stream is exhausted, the run must stop at the
+// exact completion that resolves the last request — lockstep checks done()
+// before every event, leaving residual events (timeslice timers and the
+// like) unfired. A final window runs two passes: pass one lets every node
+// with live work drain (stopping the moment its own in-flight count hits
+// zero) or hit the bound; if everyone drained, the global finish is
+// T* = max over nodes of their last completion time, resolved by node k,
+// the highest index finishing at T*. Pass two then replays exactly the
+// residual events lockstep would have fired before that completion: nodes
+// below k run through T*, nodes above k run strictly before T*, node k
+// stays put. If some node was still busy at the bound, no global finish
+// happened in the window and everyone simply tops up to the bound.
+//
+// The resilience layer is the counterexample to all of this: a completion
+// there resolves hedges on other nodes, feeds breakers and re-dispatches
+// queued work immediately, so the safe lookahead collapses to zero and the
+// run stays on the lockstep reference (see DESIGN.md).
+package cluster
+
+import (
+	"repro/internal/sim"
+)
+
+// winEv is one completion buffered inside a parallel window: everything the
+// merge needs to replay the completion's cluster-visible effects in lockstep
+// order. Per-node buffers are appended in engine firing order, so (at, node
+// index, buffer position) reproduces the lockstep total order.
+type winEv struct {
+	at         sim.Time
+	class, app int
+	exec       sim.Time
+	// retire records that this completion drained a Draining node, captured
+	// in-window while the node-local counters still show that exact moment.
+	retire bool
+}
+
+// shardEnt is one pre-sharded arrival awaiting engine insertion by the
+// window runner: the dispatch decision is already made and booked, only the
+// engine-side admission event is deferred so it lands with the same
+// insertion-order seq as the lockstep path.
+type shardEnt struct {
+	i  int // arrival index
+	at sim.Time
+}
+
+// LoadOblivious marks a Dispatcher whose Pick and hooks depend only on the
+// dispatcher's own internal state and the eligible-set size — never on node
+// load or completion feedback. For such a policy the parallel-window loop
+// pre-computes dispatch decisions for whole arrival batches (the eligible
+// set is constant between control events), which extends windows to the
+// control horizon. Round-robin qualifies; any policy reading
+// Node.InFlight or observing Completed does not.
+type LoadOblivious interface {
+	// LoadObliviousDispatch is a marker; implementations do nothing.
+	LoadObliviousDispatch()
+}
+
+// parLoop is the parallel-window equivalent of loop: identical control,
+// arrival and MaxSimTime handling, but contiguous runs of node events
+// execute as parallel windows with a deterministic merge. Byte-identical to
+// loop at any RunConfig.Parallel value.
+func (c *Cluster) parLoop() error {
+	var processed uint64
+	for c.err == nil {
+		if c.done() {
+			return c.err
+		}
+		if processed >= c.rc.MaxEvents {
+			break
+		}
+		hasA := c.next < len(c.tr.Arrivals)
+		var tA sim.Time
+		if hasA {
+			tA = c.tr.Arrivals[c.next].At
+		}
+		ni := -1
+		var tN sim.Time
+		for i := range c.Nodes {
+			if c.hasNext[i] && (ni < 0 || c.nextAt[i] < tN) {
+				tN, ni = c.nextAt[i], i
+			}
+		}
+		switch {
+		case c.ctlHas && (!hasA || c.ctlAt <= tA) && (ni < 0 || c.ctlAt <= tN):
+			if c.ctlAt > c.rc.MaxSimTime {
+				c.now = c.rc.MaxSimTime
+				return c.err
+			}
+			c.now = c.ctlAt
+			c.ctl.Step()
+			c.refreshCtl()
+			processed++
+		case hasA && (ni < 0 || tA <= tN):
+			if tA > c.rc.MaxSimTime {
+				c.now = c.rc.MaxSimTime
+				return c.err
+			}
+			if c.oblivious {
+				// Batch every arrival up to the control horizon and run the
+				// whole gap as one window.
+				bound := c.windowBound(false, 0)
+				c.preShard(bound)
+				if c.err != nil {
+					return c.err
+				}
+				processed += c.runWindow(bound, c.next >= len(c.tr.Arrivals))
+				continue
+			}
+			c.now = tA
+			c.dispatch(c.next)
+			c.next++
+		case ni >= 0:
+			if tN > c.rc.MaxSimTime {
+				c.now = c.rc.MaxSimTime
+				return c.err
+			}
+			processed += c.runWindow(c.windowBound(hasA, tA), !hasA)
+		default:
+			return c.err
+		}
+	}
+	return c.err
+}
+
+// windowBound returns the conservative lookahead horizon: the earliest
+// moment a cross-node interaction could occur. Events strictly before the
+// bound are safe to run node-locally.
+func (c *Cluster) windowBound(hasA bool, tA sim.Time) sim.Time {
+	bound := c.rc.MaxSimTime + 1
+	if c.ctlHas && c.ctlAt < bound {
+		bound = c.ctlAt
+	}
+	if hasA && tA < bound {
+		bound = tA
+	}
+	return bound
+}
+
+// preShard consumes every consecutive arrival strictly before the bound
+// (control events win timestamp ties, so an arrival at the control time
+// must see the post-control fleet) and at most MaxSimTime, running the
+// dispatch decision and bookkeeping serially in arrival order and deferring
+// only the engine insertion to the window runner.
+func (c *Cluster) preShard(bound sim.Time) {
+	for c.next < len(c.tr.Arrivals) {
+		at := c.tr.Arrivals[c.next].At
+		if at >= bound || at > c.rc.MaxSimTime {
+			return
+		}
+		n := c.pickNode(c.next, at)
+		if n == nil {
+			return
+		}
+		c.placeOn(n, c.next, at)
+		n.shard = append(n.shard, shardEnt{i: c.next, at: at})
+		c.next++
+	}
+}
+
+// runWindow executes one parallel window up to bound and merges the results:
+// collect the nodes with work before the bound, run them (in parallel when a
+// pool exists), re-cache their engine peeks, and replay the buffered
+// completions in lockstep order. Returns the number of node events fired.
+func (c *Cluster) runWindow(bound sim.Time, final bool) uint64 {
+	active := c.winActive[:0]
+	for i, n := range c.Nodes {
+		if (c.hasNext[i] && c.nextAt[i] < bound) || len(n.shard) > 0 {
+			active = append(active, n)
+		}
+	}
+	c.winActive = active
+	if len(active) == 0 {
+		return 0
+	}
+	var steps uint64
+	if final {
+		steps = c.runFinal(active, bound)
+	} else {
+		counts := make([]uint64, len(active))
+		c.fanOut(len(active), func(i int) {
+			counts[i] = c.runNodeTo(active[i], bound)
+		})
+		for _, s := range counts {
+			steps += s
+		}
+	}
+	for _, n := range active {
+		c.refresh(n.Index)
+	}
+	c.mergeWindow(active)
+	return steps
+}
+
+// fanOut runs fn(0..n-1) on the window pool, or inline when the pool is
+// absent (Parallel <= 1) or the window touches a single node.
+func (c *Cluster) fanOut(n int, fn func(int)) {
+	if c.pool == nil || n < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	c.pool.Run(n, fn)
+}
+
+// runNodeTo fires node n's events strictly before bound, interleaving any
+// pre-sharded admissions at their lockstep insertion points: an admission at
+// time t is inserted into the engine the moment the engine's next pending
+// event is at or after t (or the engine is idle), exactly when the lockstep
+// loop would have called Eng.At — so equal-time events keep their FIFO
+// insertion order and the run stays byte-identical.
+func (c *Cluster) runNodeTo(n *Node, bound sim.Time) uint64 {
+	eng := n.Sys.Eng
+	var steps uint64
+	sp := 0
+	for {
+		t, ok := eng.Peek()
+		for sp < len(n.shard) && (!ok || n.shard[sp].at <= t) {
+			s := n.shard[sp]
+			sp++
+			eng.At(s.at, func() { c.admit(n, s.i) })
+			t, ok = eng.Peek()
+		}
+		if !ok || t >= bound {
+			break
+		}
+		eng.Step()
+		steps++
+	}
+	n.shard = n.shard[:0]
+	return steps
+}
+
+// runNodeDrain is runNodeTo for pass one of a final window: it additionally
+// stops the moment the node's own in-flight population hits zero, recording
+// the draining completion's time in *fin (which stays negative if the node
+// was still busy at the bound).
+func (c *Cluster) runNodeDrain(n *Node, bound sim.Time, fin *sim.Time) uint64 {
+	eng := n.Sys.Eng
+	var steps uint64
+	sp := 0
+	for {
+		t, ok := eng.Peek()
+		for sp < len(n.shard) && (!ok || n.shard[sp].at <= t) {
+			s := n.shard[sp]
+			sp++
+			eng.At(s.at, func() { c.admit(n, s.i) })
+			t, ok = eng.Peek()
+		}
+		if !ok || t >= bound {
+			break
+		}
+		eng.Step()
+		steps++
+		if n.InFlight() == 0 && sp == len(n.shard) {
+			*fin = eng.Now()
+			break
+		}
+	}
+	n.shard = n.shard[:0]
+	return steps
+}
+
+// runNodeUntil fires node n's events at or before limit (pass two of a
+// final window: residual, non-completing events only).
+func (c *Cluster) runNodeUntil(n *Node, limit sim.Time) uint64 {
+	eng := n.Sys.Eng
+	var steps uint64
+	for {
+		t, ok := eng.Peek()
+		if !ok || t > limit {
+			break
+		}
+		eng.Step()
+		steps++
+	}
+	return steps
+}
+
+// runFinal executes a window in which the run may end: the arrival stream is
+// exhausted, so the completion resolving the last in-flight request must be
+// the run's final fired event, exactly as lockstep's done()-before-every-
+// event check guarantees.
+func (c *Cluster) runFinal(active []*Node, bound sim.Time) uint64 {
+	counts := make([]uint64, len(active))
+	fins := make([]sim.Time, len(active))
+	// Pass one: nodes with live work drain or hit the bound. Nodes holding
+	// only residual events wait — how far they may run depends on where the
+	// global finish lands.
+	c.fanOut(len(active), func(i int) {
+		fins[i] = -1
+		n := active[i]
+		if n.InFlight() == 0 && len(n.shard) == 0 {
+			return
+		}
+		counts[i] = c.runNodeDrain(n, bound, &fins[i])
+	})
+	totalIn := 0
+	for _, n := range c.Nodes {
+		totalIn += n.InFlight()
+	}
+	if totalIn > 0 {
+		// Some node is still busy at the bound (or holds work with no event
+		// before it), so the run does not end in this window and every event
+		// before the bound fires, exactly as lockstep with done() false.
+		c.fanOut(len(active), func(i int) {
+			counts[i] += c.runNodeTo(active[i], bound)
+		})
+	} else {
+		// The fleet drained: the run ends at T*, the latest per-node drain
+		// time, resolved by the highest-index node finishing there. Replay
+		// the residual events lockstep would still have fired: all of a
+		// lower-index node's events at T* precede node k's resolving
+		// completion; a higher-index node's events at T* never fire.
+		tstar, k := sim.Time(-1), -1
+		for i, n := range active {
+			if fins[i] >= 0 && (fins[i] > tstar || (fins[i] == tstar && n.Index > k)) {
+				tstar, k = fins[i], n.Index
+			}
+		}
+		c.fanOut(len(active), func(i int) {
+			n := active[i]
+			switch {
+			case n.Index < k:
+				counts[i] += c.runNodeUntil(n, tstar)
+			case n.Index > k:
+				counts[i] += c.runNodeUntil(n, tstar-1)
+			}
+		})
+	}
+	var steps uint64
+	for _, s := range counts {
+		steps += s
+	}
+	return steps
+}
+
+// mergeWindow replays the completions buffered during a window in the
+// lockstep total order — ascending time, ties by node index, each node's
+// buffer already engine-ordered — applying the cluster-visible effects the
+// in-window callbacks deferred. It also promotes the lowest-index node's
+// window error, keeping failures deterministic at any worker count.
+func (c *Cluster) mergeWindow(active []*Node) {
+	for {
+		var best *Node
+		for _, n := range active {
+			if n.winPos < len(n.winBuf) && (best == nil || n.winBuf[n.winPos].at < best.winBuf[best.winPos].at) {
+				best = n
+			}
+		}
+		if best == nil {
+			break
+		}
+		ev := &best.winBuf[best.winPos]
+		best.winPos++
+		c.now = ev.at
+		c.finished++
+		c.disp.Completed(best.Index, ev.class, ev.app, ev.exec)
+		if ev.retire {
+			c.retire(best, ev.at)
+		}
+	}
+	for _, n := range active {
+		n.winBuf = n.winBuf[:0]
+		n.winPos = 0
+		if n.winErr != nil {
+			c.fail(n.winErr)
+			n.winErr = nil
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package cluster
+
+import "fmt"
+
+// WarmStater is implemented by dispatchers whose learned state is worth
+// carrying across runs: a load sweep that rebuilds the cluster for every
+// offered-load point would otherwise pay the predictor's cold-start
+// transient (least-loaded degenerates to join-shortest-queue until its EWMA
+// converges) once per point instead of once per sweep.
+type WarmStater interface {
+	// WarmState returns an opaque snapshot of the dispatcher's learned
+	// state. The snapshot must share no mutable storage with the dispatcher.
+	WarmState() any
+	// WarmStart replaces the dispatcher's learned state with a snapshot
+	// previously returned by WarmState on a dispatcher of the same policy.
+	// The cluster calls it once, after Reset and before the first arrival.
+	WarmStart(state any)
+}
+
+// Warmth is a snapshot of a drained cluster's dispatcher state, taken with
+// Cluster.Warmth and replayed into a fresh run via RunConfig.Warmth. Only
+// dispatcher learning is carried — node accounts, engines and SLO sketches
+// always start cold, so the warmed run's metrics measure steady-state
+// behavior, not the warmup traffic.
+type Warmth struct {
+	// Dispatcher names the policy the snapshot came from; a Warmth can only
+	// start a run using the same policy.
+	Dispatcher string
+
+	state any
+}
+
+// Warmth snapshots the dispatcher's learned state for a future run's
+// RunConfig.Warmth. It requires a drained cluster — every arrival dispatched
+// and every attempt resolved — so the snapshot is a pure function of the
+// warmup trace and never depends on where a run happened to stop.
+func (c *Cluster) Warmth() (*Warmth, error) {
+	in := 0
+	for _, n := range c.Nodes {
+		in += n.InFlight()
+	}
+	if c.next < len(c.tr.Arrivals) || in > 0 {
+		return nil, fmt.Errorf("cluster: warmth snapshot needs a drained fleet (%d arrivals undispatched, %d in flight)",
+			len(c.tr.Arrivals)-c.next, in)
+	}
+	w := &Warmth{Dispatcher: c.disp.Name()}
+	if ws, ok := c.disp.(WarmStater); ok {
+		w.state = ws.WarmState()
+	}
+	return w, nil
+}
+
+// apply replays the snapshot into a fresh run's dispatcher (called by New
+// after Reset).
+func (w *Warmth) apply(d Dispatcher) error {
+	if d.Name() != w.Dispatcher {
+		return fmt.Errorf("cluster: warmth snapshot from dispatcher %q cannot start %q", w.Dispatcher, d.Name())
+	}
+	if w.state == nil {
+		return nil
+	}
+	ws, ok := d.(WarmStater)
+	if !ok {
+		return fmt.Errorf("cluster: dispatcher %q does not support warm starts", d.Name())
+	}
+	ws.WarmStart(w.state)
+	return nil
+}

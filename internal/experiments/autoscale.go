@@ -240,6 +240,7 @@ func RunAutoscale(o Options) (*AutoscaleResult, error) {
 				Dispatcher: disp,
 				Policy:     func(n int) core.Policy { return policy.NewPPQ(false) },
 				Mechanism:  func() core.Mechanism { return preempt.NewAdaptive() },
+				Parallel:   o.ParWindow,
 			}
 			if j.fleet.auto {
 				asc, err := cluster.NewStepAutoscaler(autoscaleStepConfig())

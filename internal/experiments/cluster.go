@@ -179,6 +179,7 @@ func RunCluster(o Options, gpus []int) (*ClusterResult, error) {
 				Dispatcher: disp,
 				Policy:     func(n int) core.Policy { return policy.NewPPQ(false) },
 				Mechanism:  j.mech.mk,
+				Parallel:   o.ParWindow,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: cluster %d GPUs %s %s: %w", j.gpus, j.label, j.mech.label, err)

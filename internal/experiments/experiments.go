@@ -49,6 +49,11 @@ type Options struct {
 	// randomness from its grid coordinates, so results are identical at any
 	// worker count.
 	Workers int
+	// ParWindow runs each cluster simulation's node engines in parallel-in-
+	// time windows on this many workers (0 = the lockstep reference). Output
+	// is byte-identical either way; it parallelizes inside one cell, where
+	// Workers parallelizes across cells.
+	ParWindow int
 	// Context, when non-nil, cancels an in-flight experiment grid.
 	Context context.Context
 }

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestParWindowMatchesCommittedGoldens is the acceptance gate for the
+// parallel-in-time cluster path at the experiment level: every cluster-layer
+// sweep (fixed fleet, elastic+faulty fleet, resilience ladder) rendered with
+// parallel-window execution must be byte-identical to its committed golden —
+// the same files the lockstep runs are pinned against — at every worker
+// count. A lockstep run never executes here, so any divergence points at the
+// window engine, not at golden drift.
+func TestParWindowMatchesCommittedGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweeps in -short mode")
+	}
+	if *update {
+		t.Skip("goldens are written from the lockstep reference runs")
+	}
+	for _, workers := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			o := goldenOpts()
+			o.ParWindow = workers
+
+			clu, err := RunCluster(o, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := compareGolden("cluster", clu.Table().Render()); err != nil {
+				t.Errorf("cluster sweep: %v", err)
+			}
+
+			asc, err := RunAutoscale(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := compareGolden("autoscale", asc.Table().Render()); err != nil {
+				t.Errorf("autoscale sweep: %v", err)
+			}
+
+			res, err := RunResilience(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := compareGolden("resilience", res.Table().Render()); err != nil {
+				t.Errorf("resilience sweep: %v", err)
+			}
+		})
+	}
+}

@@ -251,6 +251,10 @@ func RunResilience(o Options) (*ResilienceResult, error) {
 				Mechanism:  func() core.Mechanism { return preempt.NewAdaptive() },
 				Resilience: j.spec,
 				MaxSimTime: resilienceMaxSimTime,
+				// The resilience layer forces the lockstep reference; passing
+				// the knob through keeps the grids uniform (and pins that the
+				// fallback is byte-identical in the golden tests).
+				Parallel: o.ParWindow,
 			}
 			if j.killRate > 0 {
 				rc.Faults = &cluster.FaultSpec{KillRate: j.killRate}

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 
 	"repro/internal/sim"
@@ -44,7 +45,10 @@ func bucketOf(v sim.Time) int {
 }
 
 // bucketUpper returns the largest duration mapping to bucket i (the sketch
-// reports quantiles as this conservative upper bound).
+// reports quantiles as this conservative upper bound). The top octave's
+// upper bounds exceed int64 — the last bucket's nominal upper is 2^64-1 —
+// so they saturate at the largest representable duration instead of
+// wrapping to a negative sim.Time.
 func bucketUpper(i int) sim.Time {
 	if i < 2<<sketchSubBits {
 		// Exact region (see bucketOf): bucket i holds exactly the value i.
@@ -54,7 +58,11 @@ func bucketUpper(i int) sim.Time {
 	sub := uint64(i & ((1 << sketchSubBits) - 1))
 	lower := (1<<sketchSubBits | sub) << (uint(e) - sketchSubBits)
 	width := uint64(1) << (uint(e) - sketchSubBits)
-	return sim.Time(lower + width - 1)
+	upper := lower + width - 1
+	if upper < lower || upper > math.MaxInt64 {
+		return sim.Time(math.MaxInt64)
+	}
+	return sim.Time(upper)
 }
 
 // Add records one duration. Non-positive durations count as zero.
@@ -122,13 +130,16 @@ func (s *Sketch) Quantile(q float64) sim.Time {
 // (every bucket count monotonically non-decreasing), which makes the
 // difference itself a valid histogram. The elastic cluster's autoscaler uses
 // it for rolling-window tail latency without retaining samples. Bounds come
-// from bucket uppers only (the exact window min/max are not retained), and
-// an empty window returns 0.
+// from bucket uppers only (the exact window min/max are not retained),
+// clamped to the sketch-wide max, and an empty window returns 0. A window
+// with no new samples — including a stale or swapped snapshot where prev is
+// not older than s — also returns 0 rather than underflowing the count
+// difference.
 func (s *Sketch) SinceQuantile(prev *Sketch, q float64) sim.Time {
-	n := s.n - prev.n
-	if n == 0 || q <= 0 {
+	if s.n <= prev.n || q <= 0 {
 		return 0
 	}
+	n := s.n - prev.n
 	if q > 1 {
 		q = 1
 	}
@@ -147,7 +158,12 @@ func (s *Sketch) SinceQuantile(prev *Sketch, q float64) sim.Time {
 	for i := 0; i < sketchBuckets; i++ {
 		cum += s.counts[i] - prev.counts[i]
 		if cum >= rank {
-			return bucketUpper(i)
+			if v := bucketUpper(i); v < s.max {
+				return v
+			}
+			// The window's exact max is not retained; the whole sketch's
+			// max still upper-bounds every sample in it.
+			return s.max
 		}
 	}
 	return s.max

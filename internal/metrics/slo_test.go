@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"sort"
 	"testing"
 
@@ -269,5 +270,158 @@ func TestSLOAccountValidateRejectsLifecycle(t *testing.T) {
 	marks.Hedge(0)
 	if err := marks.Validate(); err == nil {
 		t.Error("retried + hedged > admitted accepted")
+	}
+}
+
+// TestSketchBucketUpperSaturates pins the top-octave buckets: over every
+// bucket bucketOf can actually produce, the reported upper bound is
+// non-negative, covers the value, and is non-decreasing; and the final
+// (unreachable, defensive) bucket saturates at the largest representable
+// duration instead of wrapping (its nominal upper is 2^64-1, which
+// overflows int64).
+func TestSketchBucketUpperSaturates(t *testing.T) {
+	prevBucket, prevUpper := -1, sim.Time(-1)
+	for _, v := range sketchSpan() {
+		b := bucketOf(v)
+		u := bucketUpper(b)
+		if u < 0 {
+			t.Fatalf("bucketUpper(%d) = %v for value %v, negative (int64 wraparound)", b, u, v)
+		}
+		if u < v {
+			t.Fatalf("bucketUpper(%d) = %v < value %v, not an upper bound", b, u, v)
+		}
+		if b >= prevBucket && u < prevUpper {
+			t.Fatalf("bucketUpper(%d) = %v < bucketUpper(%d) = %v, not monotone", b, u, prevBucket, prevUpper)
+		}
+		prevBucket, prevUpper = b, u
+	}
+	if got := bucketUpper(bucketOf(math.MaxInt64)); got != sim.Time(math.MaxInt64) {
+		t.Errorf("top reachable bucket upper = %v, want exactly MaxInt64", got)
+	}
+	if got := bucketUpper(sketchBuckets - 1); got != sim.Time(math.MaxInt64) {
+		t.Errorf("last bucket upper = %v, want saturation at MaxInt64", got)
+	}
+}
+
+// sketchSpan returns positive durations covering every reachable octave up
+// to MaxInt64, including the octave boundaries on both sides.
+func sketchSpan() []sim.Time {
+	out := []sim.Time{0}
+	for e := 0; e < 63; e++ {
+		v := sim.Time(1) << e
+		out = append(out, v-1, v, v+1)
+	}
+	return append(out, math.MaxInt64-1, math.MaxInt64)
+}
+
+// TestSketchQuantileEdgeCases table-drives the saturated and degenerate
+// inputs the autoscaler's rolling windows can produce: huge durations in the
+// top octave, empty sketches, and single samples.
+func TestSketchQuantileEdgeCases(t *testing.T) {
+	huge := sim.Time(math.MaxInt64)
+	cases := []struct {
+		name string
+		add  []sim.Time
+		q    float64
+		want sim.Time
+	}{
+		{"empty", nil, 0.99, 0},
+		{"single-max-int64", []sim.Time{huge}, 0.5, huge},
+		{"top-octave-pair", []sim.Time{huge - 1, huge}, 1, huge},
+		{"top-octave-median", []sim.Time{huge, huge, huge}, 0.5, huge},
+		{"mixed-with-huge", []sim.Time{1, 2, huge}, 0.01, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var s Sketch
+			for _, v := range tc.add {
+				s.Add(v)
+			}
+			if got := s.Quantile(tc.q); got != tc.want {
+				t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+			if got := s.Quantile(tc.q); got < 0 {
+				t.Errorf("Quantile(%v) = %v, negative", tc.q, got)
+			}
+		})
+	}
+}
+
+// TestSketchSinceQuantileWindows table-drives the rolling-window quantile
+// over the snapshot edge cases: empty windows, saturated windows whose
+// samples land in the overflow octave, and stale snapshots (prev not older
+// than s) that previously underflowed the count difference.
+func TestSketchSinceQuantileWindows(t *testing.T) {
+	huge := sim.Time(math.MaxInt64)
+	type step struct {
+		before []sim.Time // samples added before the snapshot
+		after  []sim.Time // samples added after the snapshot (the window)
+	}
+	cases := []struct {
+		name string
+		s    step
+		q    float64
+		want sim.Time
+	}{
+		{"empty-window", step{before: []sim.Time{100, 200}}, 0.99, 0},
+		{"empty-both", step{}, 0.99, 0},
+		{"window-only", step{after: []sim.Time{100}}, 0.99, 100}, // clamped to the sketch max
+		{"saturated-window", step{after: []sim.Time{huge}}, 0.99, huge},
+		{"saturated-after-small", step{before: []sim.Time{1}, after: []sim.Time{huge - 1, huge}}, 1, huge},
+		{"q-zero", step{after: []sim.Time{100}}, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var s Sketch
+			for _, v := range tc.s.before {
+				s.Add(v)
+			}
+			snap := s
+			for _, v := range tc.s.after {
+				s.Add(v)
+			}
+			got := s.SinceQuantile(&snap, tc.q)
+			if got != tc.want {
+				t.Errorf("SinceQuantile = %v, want %v", got, tc.want)
+			}
+			if got < 0 {
+				t.Errorf("SinceQuantile = %v, negative", got)
+			}
+		})
+	}
+
+	// A swapped snapshot (prev newer than s) must report an empty window,
+	// not underflow n = s.n - prev.n to ~2^64.
+	var s Sketch
+	s.Add(100)
+	newer := s
+	newer.Add(200)
+	if got := s.SinceQuantile(&newer, 0.99); got != 0 {
+		t.Errorf("SinceQuantile with newer snapshot = %v, want 0", got)
+	}
+}
+
+// TestSketchSinceQuantileClamped pins that a window quantile never exceeds
+// the sketch-wide max even when the bucket's conservative upper bound does.
+func TestSketchSinceQuantileClamped(t *testing.T) {
+	var s Sketch
+	val := sim.Time(1_000_003) // not a bucket boundary: bucketUpper > val
+	var snap Sketch
+	s.Add(val)
+	if got := s.SinceQuantile(&snap, 1); got > s.max {
+		t.Errorf("SinceQuantile = %v exceeds sketch max %v", got, s.max)
+	}
+}
+
+// TestGoodputZeroHorizon pins that a zero or negative horizon reports zero
+// goodput instead of Inf/NaN poisoning report tables.
+func TestGoodputZeroHorizon(t *testing.T) {
+	a := NewSLOAccount([]trace.ArrivalClass{{Name: "rt"}})
+	a.Admit(0)
+	a.Complete(0, 100)
+	for _, end := range []sim.Time{0, -1} {
+		if got := a.Goodput(end); got != 0 {
+			t.Errorf("Goodput(%v) = %v, want 0", end, got)
+		}
 	}
 }

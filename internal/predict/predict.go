@@ -53,3 +53,24 @@ func (e *EWMA[K]) Len() int { return len(e.est) }
 
 // Forget drops the key's estimate (for callers that retire keys).
 func (e *EWMA[K]) Forget(key K) { delete(e.est, key) }
+
+// Snapshot returns a copy of every key's current estimate, suitable for
+// warm-starting a fresh estimator with Restore. The copy shares nothing with
+// the estimator, so the snapshot stays valid as observations continue.
+func (e *EWMA[K]) Snapshot() map[K]float64 {
+	out := make(map[K]float64, len(e.est))
+	for k, v := range e.est {
+		out[k] = v
+	}
+	return out
+}
+
+// Restore replaces the estimator's state with a snapshot previously taken by
+// Snapshot (the smoothing factor is unchanged). The snapshot is copied, not
+// retained.
+func (e *EWMA[K]) Restore(snap map[K]float64) {
+	e.est = make(map[K]float64, len(snap))
+	for k, v := range snap {
+		e.est[k] = v
+	}
+}

@@ -32,6 +32,57 @@ func (o Options) workers() int {
 	return runtime.NumCPU()
 }
 
+// Pool is a persistent worker pool for repeated small fan-outs: the workers
+// are spawned once and reused across Run calls, so callers that fan out many
+// times with tiny batches (the cluster layer's parallel time windows fan out
+// once per window) pay goroutine startup once per run instead of once per
+// batch. A Pool is much leaner than Map — no contexts, no errors, no result
+// collection — because its callers communicate through state they partition
+// themselves.
+type Pool struct {
+	jobs chan poolJob
+}
+
+type poolJob struct {
+	i  int
+	fn func(int)
+	wg *sync.WaitGroup
+}
+
+// NewPool starts a pool of the given number of worker goroutines (zero or
+// negative means runtime.NumCPU()). Close the pool when done with it.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	p := &Pool{jobs: make(chan poolJob, workers)}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for j := range p.jobs {
+				j.fn(j.i)
+				j.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Run invokes fn(0) .. fn(n-1) on the pool's workers and returns when all
+// calls have finished. fn must be safe for concurrent use; Run itself must
+// not be called concurrently from multiple goroutines, and fn must not call
+// Run reentrantly (the workers it would wait on are occupied running it).
+func (p *Pool) Run(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		p.jobs <- poolJob{i: i, fn: fn, wg: &wg}
+	}
+	wg.Wait()
+}
+
+// Close shuts the pool's workers down. Run must not be called after Close.
+func (p *Pool) Close() { close(p.jobs) }
+
 // Map runs fn(ctx, i) for every i in [0, n) on a pool of Options.Workers
 // goroutines and returns the n results in index order. The first error
 // cancels the pool's context and is returned after in-flight jobs finish;

@@ -203,6 +203,20 @@ type Options struct {
 	// DispatchSeed drives randomized dispatch policies (DispatchPowerOfTwo)
 	// separately from the machine's jitter seed; 0 falls back to Seed.
 	DispatchSeed uint64
+	// ParWindow switches RunCluster from event-by-event lockstep to
+	// parallel-in-time window execution: per-GPU engines run independently
+	// inside conservative time windows on this many workers, with a
+	// deterministic merge at every window boundary. Results are
+	// byte-identical to the lockstep reference at any value (0 = lockstep);
+	// a run with Resilience armed always uses lockstep.
+	ParWindow int
+	// WarmStart, when positive, has RunCluster first play a warmup stream of
+	// this duration through a throwaway fleet and carry the dispatcher's
+	// learned state (service-time estimates) into the measured run. The
+	// measured fleet itself starts cold — only dispatcher learning is kept —
+	// so load sweeps measure steady-state placement instead of the
+	// predictor's cold-start transient.
+	WarmStart time.Duration
 	// ContextCapacity overrides each simulated GPU's context-table capacity
 	// (0 = the arrival count for open-system and cluster runs, so admission
 	// never fails; gpu.DefaultContextCapacity for closed workloads). A
