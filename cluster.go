@@ -30,6 +30,11 @@ const (
 	// DispatchPowerOfTwo samples two GPUs with a seeded RNG and joins the
 	// shorter queue of the two.
 	DispatchPowerOfTwo DispatchKind = DispatchKind(cluster.KindPowerOfTwo)
+	// DispatchLeastLoadedFits is least-loaded made memory-aware: least
+	// predicted backlog among the GPUs whose free HBM fits the request's
+	// working set, falling back to least projected oversubscription when
+	// nothing fits.
+	DispatchLeastLoadedFits DispatchKind = DispatchKind(cluster.KindLeastLoadedFits)
 )
 
 // DispatchKinds lists the dispatch policies in report order.
@@ -55,6 +60,9 @@ type ClusterNodeType struct {
 	PCIeGen int
 	// SlowFactor multiplies the type's service time (0 = nominal speed).
 	SlowFactor float64
+	// HBMBytes overrides the type's device-memory capacity (0 = the base
+	// machine's, which Options.HBM may itself override).
+	HBMBytes int64
 }
 
 // AutoscalePolicy configures RunCluster's step autoscaler: every Interval it
@@ -210,6 +218,14 @@ type NodeReport struct {
 	Utilization float64
 	// Preemptions counts completed SM preemptions on this GPU.
 	Preemptions int
+	// HBM is the GPU's device-memory capacity in bytes. Spills counts
+	// requests whose working set did not fit at admission and swapped out to
+	// the host; SwapIns counts completed swap-back-ins (both zero without
+	// Options.Swap — blocked requests just wait); the byte fields are the
+	// matching traffic (lost = destroyed by kills before the swap-in).
+	HBM                                      int64
+	Spills, SwapIns                          int
+	SwapOutBytes, SwapInBytes, SwapLostBytes int64
 }
 
 // ClusterResult reports a cluster simulation: the fleet-wide rollup (same
@@ -244,6 +260,10 @@ type ClusterResult struct {
 	ScaleUps, Drains, Kills, Restarts int
 	// Preemptions counts completed SM preemptions across the fleet.
 	Preemptions int
+	// Spills/SwapIns and the swap byte flows sum per-GPU swap activity (all
+	// zero without Options.Swap and with every working set resident).
+	Spills, SwapIns                          int
+	SwapOutBytes, SwapInBytes, SwapLostBytes int64
 
 	// The request-lifecycle fields below are filled only when
 	// Options.Resilience armed the lifecycle manager; they stay zero
@@ -378,7 +398,8 @@ func ReadClusterTopology(r io.Reader, o Options) (Options, error) {
 	o.NodeTypes = nil
 	for _, t := range c.Types() {
 		o.NodeTypes = append(o.NodeTypes, ClusterNodeType{
-			Count: t.Count, SMs: t.SMs, PCIeGen: t.PCIeGen, SlowFactor: t.SlowFactor,
+			Count: t.Count, SMs: t.SMs, PCIeGen: t.PCIeGen,
+			SlowFactor: t.SlowFactor, HBMBytes: t.HBMBytes,
 		})
 	}
 	if c.Dispatch != "" {
@@ -503,10 +524,13 @@ func RunCluster(o Options) (*ClusterResult, error) {
 			Mechanism:  rc.Mechanism,
 			MaxSimTime: rc.MaxSimTime,
 			Parallel:   o.ParWindow,
+			HBM:        o.HBM,
+			Swap:       o.Swap,
 		}
 		for _, t := range o.NodeTypes {
 			crc.NodeTypes = append(crc.NodeTypes, cluster.NodeType{
-				Count: t.Count, SMs: t.SMs, PCIeGen: t.PCIeGen, SlowFactor: t.SlowFactor,
+				Count: t.Count, SMs: t.SMs, PCIeGen: t.PCIeGen,
+				SlowFactor: t.SlowFactor, HBMBytes: t.HBMBytes,
 			})
 		}
 		if o.Autoscale != nil {
@@ -562,6 +586,12 @@ func RunCluster(o Options) (*ClusterResult, error) {
 		Restarts:    res.Restarts,
 		Preemptions: res.Stats.PreemptionsDone,
 
+		Spills:        res.Spills,
+		SwapIns:       res.SwapIns,
+		SwapOutBytes:  res.SwapOutBytes,
+		SwapInBytes:   res.SwapInBytes,
+		SwapLostBytes: res.SwapLostBytes,
+
 		Requests:     res.Requests,
 		ReqCompleted: res.ReqCompleted,
 		Dropped:      res.Dropped,
@@ -592,6 +622,13 @@ func RunCluster(o Options) (*ClusterResult, error) {
 			UpTime:       time.Duration(n.UpTime),
 			Utilization:  n.Utilization,
 			Preemptions:  n.Stats.PreemptionsDone,
+
+			HBM:           n.HBM,
+			Spills:        n.Spills,
+			SwapIns:       n.SwapIns,
+			SwapOutBytes:  n.SwapOutBytes,
+			SwapInBytes:   n.SwapInBytes,
+			SwapLostBytes: n.SwapLostBytes,
 		})
 	}
 	return out, nil

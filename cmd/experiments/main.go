@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|table2|fig2|fig5|fig6|fig7|fig8|priority|dss|mechanisms|load|cluster|autoscale|resilience|mps|static|slicing|ablations|all")
+		exp      = flag.String("exp", "all", "experiment: table1|table2|fig2|fig5|fig6|fig7|fig8|priority|dss|mechanisms|load|cluster|autoscale|resilience|memory|mps|static|slicing|ablations|all")
 		gpusFlag = flag.String("gpus", "", "fleet sizes for -exp cluster (comma-separated, empty = 1,2,4)")
 		n        = flag.Int("n", 10, "workloads per size")
 		sizes    = flag.String("sizes", "2,4,6,8", "workload sizes")
@@ -183,6 +183,13 @@ func main() {
 			fatal(err)
 		}
 		emit("resilience", r.Table())
+	}
+	if want("memory") {
+		r, err := experiments.RunMemory(opts)
+		if err != nil {
+			fatal(err)
+		}
+		emit("memory", r.Table())
 	}
 	if want("mps") {
 		r, err := experiments.RunMPS(opts)

@@ -86,6 +86,8 @@ func main() {
 		downtime = flag.Duration("downtime", 500*time.Microsecond, "fault injection: how long a killed GPU stays down")
 		straggle = flag.Float64("straggler", 0, "fault injection: probability each GPU incarnation is a straggler")
 		slowF    = flag.Float64("slow-factor", 2, "fault injection: straggler service-time multiplier")
+		hbmF     = flag.String("hbm", "", "per-GPU device-memory capacity, e.g. 512MiB or 4GiB (default: the GPU spec's); admitted working sets are charged against it and oversubscription blocks admission")
+		swapF    = flag.Bool("swap", false, "swap oversubscribed contexts to host memory over PCIe instead of blocking admission (needs request working sets; see -hbm)")
 		parWin   = flag.Int("par-window", 0, "cluster runs: execute GPU engines in parallel-in-time windows on this many workers (0 = lockstep; output is byte-identical either way)")
 		warmup   = flag.Duration("warm-start", 0, "cluster runs: play a warmup stream of this duration first and carry the dispatcher's learned state into the measured run")
 		reps     = flag.Int("reps", 1, "simulate this many replicas of the workload under derived seeds")
@@ -113,6 +115,14 @@ func main() {
 	}
 	if *parWin < 0 {
 		fatal(fmt.Errorf("-par-window must be non-negative, got %d", *parWin))
+	}
+	var hbmBytes int64
+	if *hbmF != "" {
+		b, err := parseBytes(*hbmF)
+		if err != nil || b <= 0 {
+			fatal(fmt.Errorf("-hbm must be a positive size (e.g. 512MiB or 4GiB), got %q", *hbmF))
+		}
+		hbmBytes = b
 	}
 	if *warmup < 0 {
 		fatal(fmt.Errorf("-warm-start must be non-negative, got %v", *warmup))
@@ -170,6 +180,8 @@ func main() {
 	opts.Dispatch = repro.DispatchKind(*dispatch)
 	opts.ParWindow = *parWin
 	opts.WarmStart = *warmup
+	opts.HBM = hbmBytes
+	opts.Swap = *swapF
 	// Validate the policy name up front: a typo should fail identically
 	// whether or not this run's fleet size makes the dispatcher matter.
 	known := false
@@ -218,9 +230,9 @@ func main() {
 		opts.Resilience = spec
 	}
 	fleet := opts.Nodes > 1 || len(opts.NodeTypes) > 0 || opts.Autoscale != nil || opts.Faults != nil ||
-		opts.Resilience != nil
+		opts.Resilience != nil || opts.HBM > 0 || opts.Swap
 	if fleet && *arrFlag == "" {
-		fatal(fmt.Errorf("a fleet (-gpus/-autoscale/-kill-rate/-timeout/-retries) needs -arrivals: the cluster layer serves open request streams"))
+		fatal(fmt.Errorf("a fleet (-gpus/-autoscale/-kill-rate/-timeout/-retries/-hbm/-swap) needs -arrivals: the cluster layer serves open request streams"))
 	}
 	if *arrFlag != "" {
 		if *timeline || *reps > 1 {
@@ -334,7 +346,7 @@ func runOpen(apps []*repro.App, hp int, mode string, rate float64, horizon, dead
 	}
 
 	if opts.Nodes > 1 || len(opts.NodeTypes) > 0 || opts.Autoscale != nil || opts.Faults != nil ||
-		opts.Resilience != nil {
+		opts.Resilience != nil || opts.HBM > 0 || opts.Swap {
 		runCluster(mode, opts)
 		return
 	}
@@ -439,6 +451,10 @@ func runCluster(mode string, opts repro.Options) {
 		res.EndTime, res.Admitted, res.Completed, res.InFlight, res.Lost, res.Utilization*100, res.Preemptions)
 	fmt.Printf("fleet: node-seconds: %.6f   scale-ups: %d   drains: %d   kills: %d   restarts: %d   lost work: %v\n",
 		res.NodeSeconds, res.ScaleUps, res.Drains, res.Kills, res.Restarts, res.LostWork)
+	if res.Spills > 0 || res.SwapOutBytes > 0 {
+		fmt.Printf("memory: spills: %d   swap-ins: %d   swapped out: %s   swapped in: %s   lost to kills: %s\n",
+			res.Spills, res.SwapIns, bytesHuman(res.SwapOutBytes), bytesHuman(res.SwapInBytes), bytesHuman(res.SwapLostBytes))
+	}
 	if res.Requests > 0 {
 		fmt.Printf("lifecycle: requests: %d   completed: %d   dropped: %d   shed: %d   in-flight: %d\n",
 			res.Requests, res.ReqCompleted, res.Dropped, res.Shed, res.ReqInFlight)
@@ -518,6 +534,26 @@ func orDefault(s, d string) string {
 		return d
 	}
 	return s
+}
+
+// parseBytes parses a byte size with an optional binary suffix: "512MiB",
+// "4GiB", "65536" (plain bytes).
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "GiB"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "GiB")
+	case strings.HasSuffix(s, "MiB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MiB")
+	case strings.HasSuffix(s, "KiB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KiB")
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, err
+	}
+	return int64(v * float64(mult)), nil
 }
 
 func bytesHuman(b int64) string {

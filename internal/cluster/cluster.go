@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/arrivals"
 	"repro/internal/core"
+	"repro/internal/gmem"
 	"repro/internal/metrics"
 	"repro/internal/preempt"
 	"repro/internal/resilience"
@@ -75,6 +76,15 @@ type RunConfig struct {
 	// breakers and admission-control load shedding. A nil or zero-valued
 	// spec leaves the run bit-for-bit on the plain elastic-fleet path.
 	Resilience *resilience.Spec
+	// HBM overrides every node's device-memory capacity in bytes (0 = the
+	// GPU spec's memory size; NodeTypes' HBMBytes override this per type).
+	// Each node charges admitted working sets against its capacity and
+	// blocks — or swaps — when oversubscribed (see memory.go).
+	HBM int64
+	// Swap switches oversubscribed nodes from FIFO admission blocking to
+	// host swap: contexts that do not fit spill to the host over the node's
+	// PCIe link and are proactively swapped back in as residency frees.
+	Swap bool
 	// Policy builds each node's scheduling policy from the class count.
 	Policy func(nClasses int) core.Policy
 	// Mechanism builds each node's preemption mechanism (nil = none).
@@ -149,6 +159,18 @@ type Node struct {
 	inflightByApp            []int
 	pending                  map[int]sim.Time // in-flight arrival index -> dispatch time
 
+	// Device-memory state (see memory.go). The ledger and queues belong to
+	// the incarnation and die with a kill; hbm, memDemand and the swap
+	// counters belong to the slot and persist.
+	hbm       int64            // device-memory capacity (bytes)
+	memDemand int64            // Σ working sets of placed-but-unresolved requests
+	mem       *gmem.Manager    // resident working-set ledger (nil while down)
+	memQ      []memWait        // requests waiting for residency, arrival order
+	staging   map[int]struct{} // arrival index -> in-flight swap-in
+
+	spills, swapIns              int   // swap-outs / completed swap-ins
+	swapOutB, swapInB, swapLostB int64 // spilled / restored / kill-destroyed bytes
+
 	// Resilient-mode physical bookkeeping. An abandoned attempt (timed out
 	// or hedge loser) leaves the SLO-visible population immediately but its
 	// work keeps draining on the node as a ghost; resLive tracks every
@@ -207,6 +229,14 @@ type NodeResult struct {
 	// at the end (abandoned ghosts excluded); Missed counts completed
 	// requests that blew their class deadline.
 	Admitted, Completed, Lost, InFlight, Missed int
+	// HBM is the node's device-memory capacity. Spills counts requests whose
+	// working set did not fit at admission and swapped out to the host, and
+	// SwapIns the completed swap-back-ins (both zero with Swap off — blocked
+	// requests just wait); SwapOutBytes/SwapInBytes/SwapLostBytes are the
+	// matching byte flows (lost = destroyed by kills before the swap-in).
+	HBM                                      int64
+	Spills, SwapIns                          int
+	SwapOutBytes, SwapInBytes, SwapLostBytes int64
 	// State is the node's lifecycle state at the end of the run.
 	State NodeState
 	// Incarnations counts the machines that occupied this slot (1 + kills
@@ -252,6 +282,10 @@ type Result struct {
 	NodeSeconds float64
 	// LostWork is the in-flight virtual time destroyed by kills.
 	LostWork sim.Time
+	// Spills/SwapIns and the swap byte flows sum the per-node swap activity
+	// (all zero with Swap off and with every working set resident).
+	Spills, SwapIns                          int
+	SwapOutBytes, SwapInBytes, SwapLostBytes int64
 	// ScaleUps/Drains/Kills/Restarts count control-plane events.
 	ScaleUps, Drains, Kills, Restarts int
 	// Stats sums the execution-engine counters over all nodes.
@@ -277,6 +311,8 @@ type Cluster struct {
 
 	tr                       *trace.ArrivalTrace
 	rc                       RunConfig
+	ws                       []int64 // per-app working set (trace.App.WorkingSetBytes)
+	swapOn                   bool
 	disp                     Dispatcher
 	next                     int // next undispatched arrival
 	admitted, finished, lost int
@@ -399,6 +435,14 @@ func New(tr *trace.ArrivalTrace, rc RunConfig) (*Cluster, error) {
 	if base.ContextCapacity <= 0 {
 		base.ContextCapacity = arrivals.ContextCapacityFor(tr)
 	}
+	if rc.HBM < 0 {
+		return nil, fmt.Errorf("cluster: negative HBM size %d", rc.HBM)
+	}
+	if rc.HBM > 0 {
+		// Fleet-wide capacity override; NodeTypes' HBMBytes still wins per
+		// type (apply only overrides when set).
+		base.GPU.MemSize = rc.HBM
+	}
 	baseScale := 1.0
 	if base.TimeScale > 0 {
 		baseScale = base.TimeScale
@@ -428,7 +472,24 @@ func New(tr *trace.ArrivalTrace, rc RunConfig) (*Cluster, error) {
 		return nil, fmt.Errorf("cluster: node count %d out of range [1, %d]", len(cfgs), MaxNodes)
 	}
 
-	c := &Cluster{tr: tr, rc: rc, disp: rc.Dispatcher, ctl: sim.NewEngine()}
+	c := &Cluster{tr: tr, rc: rc, disp: rc.Dispatcher, ctl: sim.NewEngine(), swapOn: rc.Swap}
+	// The per-app working sets every admission charges. A working set larger
+	// than a node's whole HBM could never be admitted there — with strict
+	// FIFO blocking that wedges the queue forever, so reject it up front.
+	c.ws = make([]int64, len(tr.Apps))
+	var maxWS int64
+	for ai := range tr.Apps {
+		c.ws[ai] = tr.Apps[ai].WorkingSetBytes()
+		if c.ws[ai] > maxWS {
+			maxWS = c.ws[ai]
+		}
+	}
+	for i, nc := range cfgs {
+		if maxWS > nc.cfg.GPU.MemSize {
+			return nil, fmt.Errorf("cluster: working set %d bytes exceeds node %d's HBM %d",
+				maxWS, i, nc.cfg.GPU.MemSize)
+		}
+	}
 	if rc.Faults != nil {
 		if err := rc.Faults.Validate(); err != nil {
 			return nil, err
@@ -448,7 +509,9 @@ func New(tr *trace.ArrivalTrace, rc RunConfig) (*Cluster, error) {
 			baseCfg:       nc.cfg,
 			baseScale:     nc.scale,
 			state:         NodeUp,
+			hbm:           nc.cfg.GPU.MemSize,
 		}
+		n.memInit()
 		if err := c.newSystem(n); err != nil {
 			return nil, fmt.Errorf("cluster: building node %d: %w", i, err)
 		}
@@ -458,6 +521,9 @@ func New(tr *trace.ArrivalTrace, rc RunConfig) (*Cluster, error) {
 	c.nextAt = make([]sim.Time, len(c.Nodes))
 	c.hasNext = make([]bool, len(c.Nodes))
 	c.disp.Reset(len(c.Nodes), len(tr.Classes), len(tr.Apps))
+	if wa, ok := c.disp.(WorkingSetAware); ok {
+		wa.SetWorkingSets(c.ws)
+	}
 	if rc.Warmth != nil {
 		if err := rc.Warmth.apply(c.disp); err != nil {
 			return nil, err
@@ -663,22 +729,35 @@ func (c *Cluster) placeOn(n *Node, i int, at sim.Time) {
 	n.admitted++
 	c.admitted++
 	n.inflightByApp[a.App]++
+	n.memDemand += c.ws[a.App]
 	n.Acct.Admit(a.Class)
 	n.pending[i] = at
 	c.disp.Dispatched(n.Index, a.Class, a.App)
 }
 
-// admit runs on the owning node's engine at the dispatch time: the shared
-// open-system admission protocol (arrivals.AdmitRequest) places a fresh
-// context and process on this node, and completion retires them here — on
-// the owning node — before the cluster and dispatcher bookkeeping updates. A
-// draining node that empties retires.
+// admit runs on the owning node's engine at the dispatch time. The request
+// first charges its working set against the node's memory ledger; if it does
+// not fit it waits (or swaps) and startRun fires later, when residency frees.
 func (c *Cluster) admit(n *Node, i int) {
+	if !c.memAdmit(n, i) {
+		return
+	}
+	c.startRun(n, i)
+}
+
+// startRun starts arrival i's run on node n, memory already reserved: the
+// shared open-system admission protocol (arrivals.AdmitRequest) places a
+// fresh context and process on this node, and completion retires them here —
+// on the owning node — before the cluster and dispatcher bookkeeping updates.
+// A draining node that empties retires.
+func (c *Cluster) startRun(n *Node, i int) {
 	class, app := c.tr.Arrivals[i].Class, c.tr.Arrivals[i].App
 	err := arrivals.AdmitRequest(n.Sys, n.Acct, c.tr, i, func(exec sim.Time) {
 		n.finished++
 		n.inflightByApp[app]--
+		n.memDemand -= c.ws[app]
 		delete(n.pending, i)
+		c.memRelease(n, i)
 		if c.parOn {
 			// Inside a window only node-local state may move; the
 			// cluster-visible effects (fleet counter, dispatcher feedback,
@@ -747,6 +826,7 @@ func (c *Cluster) result() (*Result, error) {
 			panic(fmt.Sprintf("cluster: node %d accounting drift: %d/%d admitted, %d/%d completed, %d/%d lost",
 				n.Index, adm, n.admitted, done, n.finished, nl, n.lost))
 		}
+		c.memCheck(n)
 		admitted += adm
 		finished += done
 		lost += nl
@@ -768,19 +848,30 @@ func (c *Cluster) result() (*Result, error) {
 			nin += n.Acct.Classes[ci].InFlight()
 		}
 		out.Nodes = append(out.Nodes, NodeResult{
-			Classes:      n.Acct.Classes,
-			Admitted:     adm,
-			Completed:    done,
-			Lost:         nl,
-			InFlight:     nin,
-			Missed:       missed,
-			State:        n.state,
-			Incarnations: n.incarnation + 1,
-			TimeScale:    n.timeScale,
-			UpTime:       n.upTime,
-			Utilization:  util,
-			Stats:        st,
+			Classes:       n.Acct.Classes,
+			Admitted:      adm,
+			Completed:     done,
+			Lost:          nl,
+			InFlight:      nin,
+			Missed:        missed,
+			HBM:           n.hbm,
+			Spills:        n.spills,
+			SwapIns:       n.swapIns,
+			SwapOutBytes:  n.swapOutB,
+			SwapInBytes:   n.swapInB,
+			SwapLostBytes: n.swapLostB,
+			State:         n.state,
+			Incarnations:  n.incarnation + 1,
+			TimeScale:     n.timeScale,
+			UpTime:        n.upTime,
+			Utilization:   util,
+			Stats:         st,
 		})
+		out.Spills += n.spills
+		out.SwapIns += n.swapIns
+		out.SwapOutBytes += n.swapOutB
+		out.SwapInBytes += n.swapInB
+		out.SwapLostBytes += n.swapLostB
 		out.Utilization += util
 		out.NodeSeconds += n.upTime.Seconds()
 		if err := rollup.Merge(n.Acct); err != nil {

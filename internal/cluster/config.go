@@ -30,6 +30,10 @@ type NodeType struct {
 	// hardware class, as opposed to the fault injector's per-incarnation
 	// stragglers (0 = nominal speed).
 	SlowFactor float64 `json:"slow_factor,omitempty"`
+	// HBMBytes overrides the type's device-memory capacity, the budget each
+	// node's working-set ledger enforces at admission (0 = the GPU spec's
+	// memory size).
+	HBMBytes int64 `json:"hbm_bytes,omitempty"`
 }
 
 // Validate checks one node type's shape.
@@ -46,6 +50,9 @@ func (t NodeType) Validate() error {
 	if t.SlowFactor < 0 || math.IsNaN(t.SlowFactor) || math.IsInf(t.SlowFactor, 0) {
 		return fmt.Errorf("cluster: slow factor %v invalid", t.SlowFactor)
 	}
+	if t.HBMBytes < 0 {
+		return fmt.Errorf("cluster: negative HBM size %d", t.HBMBytes)
+	}
 	return nil
 }
 
@@ -53,6 +60,9 @@ func (t NodeType) Validate() error {
 func (t NodeType) apply(base system.Config) system.Config {
 	if t.SMs > 0 {
 		base.GPU.NumSMs = t.SMs
+	}
+	if t.HBMBytes > 0 {
+		base.GPU.MemSize = t.HBMBytes
 	}
 	if t.PCIeGen > 0 {
 		// The base bandwidth is generation 2 (the default config's PCIe 2.0);

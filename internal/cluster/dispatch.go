@@ -33,11 +33,16 @@ const (
 	// joins the shorter queue of the two (Mitzenmacher's power of two
 	// choices) — near-JSQ balance from O(1) state probes.
 	KindPowerOfTwo Kind = "p2c"
+	// KindLeastLoadedFits is least-loaded made memory-aware: least predicted
+	// backlog among the nodes with enough free HBM for the request's working
+	// set; when nothing fits, least projected oversubscription (the node
+	// that accrues the smallest swap debt).
+	KindLeastLoadedFits Kind = "least-loaded-fits"
 )
 
 // Kinds lists the built-in dispatch policies in report order.
 func Kinds() []Kind {
-	return []Kind{KindRoundRobin, KindJSQ, KindLeastLoaded, KindClassAffinity, KindPowerOfTwo}
+	return []Kind{KindRoundRobin, KindJSQ, KindLeastLoaded, KindLeastLoadedFits, KindClassAffinity, KindPowerOfTwo}
 }
 
 // Dispatcher places arrivals on nodes. Implementations must be
@@ -57,7 +62,9 @@ type Dispatcher interface {
 	// currently eligible (Up) nodes in fleet-index order — on an elastic
 	// fleet it is a subset of the fleet and its length varies between calls.
 	// Nodes reflect every event strictly before at, plus all same-timestamp
-	// arrivals already placed.
+	// arrivals already placed. An empty slice returns -1 (never a panic):
+	// drains, kills and circuit breakers can mask the whole fleet, and the
+	// caller owns the fail-or-queue decision.
 	Pick(at sim.Time, class, app int, nodes []*Node) int
 	// Dispatched observes a placement (including this dispatcher's own) by
 	// fleet node index, for policies that track load themselves.
@@ -65,6 +72,14 @@ type Dispatcher interface {
 	// Completed observes a request finishing on a node (by fleet index) with
 	// the given observed execution time (first issue to completion).
 	Completed(node, class, app int, exec sim.Time)
+}
+
+// WorkingSetAware is implemented by memory-aware dispatchers: the cluster
+// hands them the per-application working sets (trace.App.WorkingSetBytes,
+// indexed by app) after Reset, so Pick can weigh a request's memory demand
+// against each node's FreeHBM.
+type WorkingSetAware interface {
+	SetWorkingSets(ws []int64)
 }
 
 // NewDispatcher builds a built-in dispatch policy. The seed drives any
@@ -78,6 +93,8 @@ func NewDispatcher(kind Kind, seed uint64) (Dispatcher, error) {
 		return NewJSQ(), nil
 	case KindLeastLoaded:
 		return NewLeastLoaded(), nil
+	case KindLeastLoadedFits:
+		return NewLeastLoadedFits(), nil
 	case KindClassAffinity:
 		return NewClassAffinity(), nil
 	case KindPowerOfTwo:
@@ -118,6 +135,13 @@ func shortestQueue(nodes []*Node, idx []int) int {
 
 type roundRobin struct {
 	noopHooks
+	// next is the fleet INDEX the cycle continues from, not a position in
+	// the eligible slice. A position cursor taken modulo the eligible-set
+	// length aliases whenever drains, kills or breakers shrink the set (the
+	// monotone counter lands on an unrelated node) and divides by zero when
+	// the set is empty; anchoring the cursor to fleet indices keeps "the
+	// next node after the one I used last" exact on any subset. On a full
+	// fixed fleet index equals position and the cycle is unchanged.
 	next int
 }
 
@@ -128,9 +152,21 @@ func (d *roundRobin) Name() string                   { return string(KindRoundRo
 func (d *roundRobin) Reset(nodes, classes, apps int) { d.next = 0 }
 
 func (d *roundRobin) Pick(at sim.Time, class, app int, nodes []*Node) int {
-	i := d.next % len(nodes)
-	d.next++
-	return i
+	if len(nodes) == 0 {
+		return -1
+	}
+	// First eligible node at or after the cursor, wrapping to the lowest
+	// index. The slice is in fleet-index order, so the first match is the
+	// nearest successor.
+	pick := 0
+	for p, n := range nodes {
+		if n.Index >= d.next {
+			pick = p
+			break
+		}
+	}
+	d.next = nodes[pick].Index + 1
+	return pick
 }
 
 // LoadObliviousDispatch marks round-robin safe for arrival pre-sharding: Pick
@@ -225,20 +261,82 @@ func (d *leastLoaded) WarmStart(state any) {
 	}
 }
 
-func (d *leastLoaded) Pick(at sim.Time, class, app int, nodes []*Node) int {
+// prepWeights refreshes the per-app scratch weights for one Pick.
+func (d *leastLoaded) prepWeights() {
 	for a := range d.weights {
 		d.weights[a] = d.weight(a)
 	}
+}
+
+// backlog returns a node's predicted backlog under the current weights.
+func (d *leastLoaded) backlog(n *Node) float64 {
+	var load float64
+	for a, c := range n.inflightByApp {
+		if c > 0 {
+			load += float64(c) * d.weights[a]
+		}
+	}
+	return load
+}
+
+func (d *leastLoaded) Pick(at sim.Time, class, app int, nodes []*Node) int {
+	d.prepWeights()
 	best, bestLoad := -1, 0.0
 	for i, n := range nodes {
-		var load float64
-		for a, c := range n.inflightByApp {
-			if c > 0 {
-				load += float64(c) * d.weights[a]
-			}
-		}
-		if best < 0 || load < bestLoad {
+		if load := d.backlog(n); best < 0 || load < bestLoad {
 			best, bestLoad = i, load
+		}
+	}
+	return best
+}
+
+// --- least-loaded-fits (memory-aware) ---------------------------------------
+
+type leastLoadedFits struct {
+	leastLoaded
+	ws []int64 // per-app working sets, set by the cluster after Reset
+}
+
+// NewLeastLoadedFits returns the memory-aware predicted-backlog dispatcher.
+// Without working sets (or for zero-footprint requests) it degenerates to
+// least-loaded exactly.
+func NewLeastLoadedFits() Dispatcher { return &leastLoadedFits{} }
+
+func (d *leastLoadedFits) Name() string { return string(KindLeastLoadedFits) }
+
+func (d *leastLoadedFits) SetWorkingSets(ws []int64) { d.ws = ws }
+
+// Pick places the request on the least-predicted-backlog node among those
+// with enough free HBM for its working set. When no node fits — the fleet is
+// oversubscribed — it minimizes the projected oversubscription
+// (memDemand + need − capacity): the node where the request adds the least
+// swap debt (or, with swap off, joins the shortest memory wait), ties to the
+// lowest fleet index.
+func (d *leastLoadedFits) Pick(at sim.Time, class, app int, nodes []*Node) int {
+	if len(nodes) == 0 {
+		return -1
+	}
+	var need int64
+	if app < len(d.ws) {
+		need = d.ws[app]
+	}
+	d.prepWeights()
+	best, bestLoad := -1, 0.0
+	for i, n := range nodes {
+		if n.FreeHBM() < need {
+			continue
+		}
+		if load := d.backlog(n); best < 0 || load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	var bestDebt int64
+	for i, n := range nodes {
+		if debt := n.memDemand + need - n.hbm; best < 0 || debt < bestDebt {
+			best, bestDebt = i, debt
 		}
 	}
 	return best
@@ -258,12 +356,21 @@ func (d *classAffinity) Name() string { return string(KindClassAffinity) }
 
 func (d *classAffinity) Reset(nodes, classes, apps int) { d.classes = classes }
 
-// Pick computes the class's subset over the eligible slice by position
-// (positions congruent to the class modulo min(classes, len(nodes))) instead
-// of a Reset-time index table, so it follows the fleet as nodes come and go.
-// On a fixed fleet position equals index and this reduces to the static
-// pinning.
+// Pick recomputes the class's subset from the live eligible set on every
+// call: eligible nodes whose fleet INDEX is congruent to the class modulo
+// min(classes, len(nodes)), shortest queue within the subset. Keying on the
+// fleet index (the documented contract) rather than the slice position keeps
+// a class pinned to the same physical nodes while drains, kills and
+// autoscaler grows reshape the slice — a position-based subset silently
+// migrates the class (and its warmed working set) to whichever nodes happen
+// to occupy those positions, and froze autoscaler-added nodes out whenever
+// their positions fell outside the original shape. When the congruence class
+// has no eligible member the class falls back to shortest-queue over the
+// whole set instead of going unserved; an empty eligible set returns -1.
 func (d *classAffinity) Pick(at sim.Time, class, app int, nodes []*Node) int {
+	if len(nodes) == 0 {
+		return -1
+	}
 	stride := d.classes
 	if len(nodes) < stride {
 		stride = len(nodes)
@@ -271,11 +378,18 @@ func (d *classAffinity) Pick(at sim.Time, class, app int, nodes []*Node) int {
 	if stride < 1 {
 		stride = 1
 	}
+	want := class % stride
 	best, bestLoad := -1, 0
-	for p := class % stride; p < len(nodes); p += stride {
-		if l := nodes[p].InFlight(); best < 0 || l < bestLoad {
+	for p, n := range nodes {
+		if n.Index%stride != want {
+			continue
+		}
+		if l := n.InFlight(); best < 0 || l < bestLoad {
 			best, bestLoad = p, l
 		}
+	}
+	if best < 0 {
+		return shortestQueue(nodes, nil)
 	}
 	return best
 }
@@ -303,6 +417,9 @@ func (d *powerOfTwo) Name() string { return string(KindPowerOfTwo) }
 func (d *powerOfTwo) Reset(nodes, classes, apps int) { d.r = rng.New(d.seed) }
 
 func (d *powerOfTwo) Pick(at sim.Time, class, app int, nodes []*Node) int {
+	if len(nodes) == 0 {
+		return -1
+	}
 	if len(nodes) == 1 {
 		return 0
 	}

@@ -289,7 +289,9 @@ func (c *Cluster) scaleUp(k int, at sim.Time) {
 			baseScale:     c.addScale,
 			state:         NodeUp,
 			upSince:       at,
+			hbm:           c.addCfg.GPU.MemSize,
 		}
+		n.memInit()
 		if err := c.newSystem(n); err != nil {
 			c.fail(fmt.Errorf("cluster: scaling up node %d: %w", n.Index, err))
 			return

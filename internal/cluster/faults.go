@@ -123,6 +123,11 @@ func (c *Cluster) killNode(n *Node, at sim.Time) {
 	n.busyAcc += n.Sys.Exec.Utilization(at) * float64(at)
 	n.Sys = nil
 	c.hasNext[n.Index] = false
+	// The memory ledger, wait queue and in-flight swap-ins die with the
+	// machine (their engine events can no longer fire); spilled bytes whose
+	// swap-in will never happen are accounted lost. The waiters themselves
+	// are still in pending, so the loss loop below re-dispatches them.
+	n.memWipe(c)
 
 	if c.res != nil {
 		// Resilient path: ghosts die quietly, live attempts take the retry
@@ -142,6 +147,7 @@ func (c *Cluster) killNode(n *Node, at sim.Time) {
 			c.lost++
 			n.Acct.Lose(a.Class)
 			n.inflightByApp[a.App]--
+			n.memDemand -= c.ws[a.App]
 			c.lostWork += at - n.pending[i]
 		}
 		clear(n.pending)
@@ -161,6 +167,7 @@ func (c *Cluster) killNode(n *Node, at sim.Time) {
 func (c *Cluster) restart(n *Node, at sim.Time) {
 	c.restarts++
 	n.incarnation++
+	n.memInit()
 	if err := c.newSystem(n); err != nil {
 		c.fail(fmt.Errorf("cluster: restarting node %d: %w", n.Index, err))
 		return

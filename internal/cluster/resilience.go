@@ -196,6 +196,7 @@ func (c *Cluster) launch(i, kind int, at sim.Time) {
 	n.admitted++
 	c.admitted++
 	n.inflightByApp[a.App]++
+	n.memDemand += c.ws[a.App]
 	n.Acct.Admit(a.Class)
 	switch kind {
 	case attRetry:
@@ -283,6 +284,15 @@ func (c *Cluster) resAdmit(n *Node, attID int) {
 	att := &c.atts[attID]
 	att.started = true
 	i := att.req
+	// The resilient path does not queue on memory: an attempt whose working
+	// set does not fit is refused like a full context table, and the retry
+	// machinery (backoff, budget, breaker feedback) owns the wait. The
+	// ledger is keyed by attempt id here — attempts, not arrivals, occupy
+	// memory.
+	if ws := c.wsOf(i); ws > 0 && !c.memReserve(n, attID, ws) {
+		c.rejectAttempt(n, attID)
+		return
+	}
 	err := arrivals.AdmitAttempt(n.Sys, c.tr, i, func(rec proc.RunRecord) {
 		c.attComplete(n, attID, rec)
 	})
@@ -301,6 +311,8 @@ func (c *Cluster) rejectAttempt(n *Node, attID int) {
 	a := &c.tr.Arrivals[att.req]
 	delete(n.resLive, attID)
 	n.inflightByApp[a.App]--
+	n.memDemand -= c.ws[a.App]
+	n.mem.FreeOwner(attID) // no-op when the memory reservation failed
 	n.lost++
 	c.lost++
 	c.rejected++
@@ -327,6 +339,9 @@ func (c *Cluster) attComplete(n *Node, attID int, rec proc.RunRecord) {
 	a := &c.tr.Arrivals[att.req]
 	delete(n.resLive, attID)
 	n.inflightByApp[a.App]--
+	n.memDemand -= c.ws[a.App]
+	// Ghost or winner, the attempt held its working set until now.
+	n.mem.FreeOwner(attID)
 	if att.abandoned {
 		n.ghostDone++
 		c.afterResolve(n)
@@ -415,6 +430,7 @@ func (c *Cluster) cancelAttempt(attID int) {
 		c.refresh(att.node)
 		delete(n.resLive, attID)
 		n.inflightByApp[a.App]--
+		n.memDemand -= c.ws[a.App] // never started, so never reserved
 		n.ghostDone++
 	}
 }
@@ -443,6 +459,7 @@ func (c *Cluster) attTimeout(attID int, t sim.Time) {
 		}
 		delete(n.resLive, attID)
 		n.inflightByApp[a.App]--
+		n.memDemand -= c.ws[a.App] // never started, so never reserved
 		n.ghostDone++
 	}
 	c.attFailed(attID, t, 0)
@@ -551,6 +568,7 @@ func (c *Cluster) killAttempts(n *Node, at sim.Time) {
 		att := &c.atts[attID]
 		a := &c.tr.Arrivals[att.req]
 		n.inflightByApp[a.App]--
+		n.memDemand -= c.ws[a.App]
 		if att.abandoned {
 			n.ghostLost++
 			continue

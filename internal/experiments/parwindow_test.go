@@ -7,7 +7,8 @@ import (
 
 // TestParWindowMatchesCommittedGoldens is the acceptance gate for the
 // parallel-in-time cluster path at the experiment level: every cluster-layer
-// sweep (fixed fleet, elastic+faulty fleet, resilience ladder) rendered with
+// sweep (fixed fleet, elastic+faulty fleet, resilience ladder, memory grid)
+// rendered with
 // parallel-window execution must be byte-identical to its committed golden —
 // the same files the lockstep runs are pinned against — at every worker
 // count. A lockstep run never executes here, so any divergence points at the
@@ -46,6 +47,14 @@ func TestParWindowMatchesCommittedGoldens(t *testing.T) {
 			}
 			if err := compareGolden("resilience", res.Table().Render()); err != nil {
 				t.Errorf("resilience sweep: %v", err)
+			}
+
+			mem, err := RunMemory(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := compareGolden("memory", mem.Table().Render()); err != nil {
+				t.Errorf("memory sweep: %v", err)
 			}
 		})
 	}

@@ -18,6 +18,7 @@ type PAddr uint64
 // context, while framework structures belong to the system).
 type Manager struct {
 	size  int64
+	used  int64  // running sum of live allocation sizes
 	free  []span // sorted by base
 	inUse map[PAddr]alloc
 	owned map[int]int64
@@ -49,14 +50,13 @@ func NewManager(size int64) *Manager {
 // Size returns the total physical memory size in bytes.
 func (m *Manager) Size() int64 { return m.size }
 
-// Used returns the number of bytes currently allocated.
-func (m *Manager) Used() int64 {
-	var used int64
-	for _, a := range m.inUse {
-		used += a.size
-	}
-	return used
-}
+// Used returns the number of bytes currently allocated. It is O(1) — a
+// running counter, not a walk of the live allocations — because dispatchers
+// consult free memory on every placement decision.
+func (m *Manager) Used() int64 { return m.used }
+
+// Available returns the number of unallocated bytes.
+func (m *Manager) Available() int64 { return m.size - m.used }
 
 // OwnedBy returns the number of bytes currently allocated to owner.
 func (m *Manager) OwnedBy(owner int) int64 { return m.owned[owner] }
@@ -80,10 +80,11 @@ func (m *Manager) Alloc(owner int, size int64) (PAddr, error) {
 		}
 		m.inUse[base] = alloc{size: size, owner: owner}
 		m.owned[owner] += size
+		m.used += size
 		return base, nil
 	}
-	return 0, fmt.Errorf("gmem: out of memory allocating %d bytes for owner %d (used %d of %d)",
-		size, owner, m.Used(), m.size)
+	return 0, fmt.Errorf("gmem: out of memory allocating %d bytes for owner %d (used %d of %d, %d free)",
+		size, owner, m.used, m.size, m.size-m.used)
 }
 
 // Free releases the allocation at base.
@@ -94,6 +95,7 @@ func (m *Manager) Free(base PAddr) error {
 	}
 	delete(m.inUse, base)
 	m.owned[a.owner] -= a.size
+	m.used -= a.size
 	if m.owned[a.owner] == 0 {
 		delete(m.owned, a.owner)
 	}

@@ -1,6 +1,8 @@
 package gmem
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -121,6 +123,84 @@ func TestNewManagerPanicsOnZeroSize(t *testing.T) {
 		}
 	}()
 	NewManager(0)
+}
+
+// Property: context churn does not leak fragments. Alternating Alloc and
+// FreeOwner across many owners — allocation sizes and free order drawn from
+// the fuzzed input — must always coalesce the arena back to a single span
+// once every owner has been destroyed, and the whole arena must be
+// allocatable again.
+func TestChurnCoalescesToOneSpan(t *testing.T) {
+	const arena = 1 << 20
+	f := func(sizes []uint16, freeOrder []uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		m := NewManager(arena)
+		const owners = 7
+		// Interleave allocations across owners so each owner's blocks are
+		// scattered through the arena, not contiguous.
+		for i, s := range sizes {
+			size := int64(s%8192) + 1
+			if _, err := m.Alloc(i%owners, size); err != nil {
+				break // exhausted: fine, destroy what is live
+			}
+		}
+		// Destroy the owners in fuzzed order; freeing one owner mid-stream
+		// punches holes between the surviving owners' blocks.
+		destroyed := make(map[int]bool)
+		for _, o := range freeOrder {
+			destroyed[int(o)%owners] = true
+			m.FreeOwner(int(o) % owners)
+		}
+		for o := 0; o < owners; o++ {
+			m.FreeOwner(o)
+		}
+		if m.Used() != 0 {
+			t.Logf("Used = %d after freeing every owner", m.Used())
+			return false
+		}
+		if m.FreeSpans() != 1 {
+			t.Logf("free list fragmented: %d spans", m.FreeSpans())
+			return false
+		}
+		// The arena must be whole again.
+		if _, err := m.Alloc(0, arena); err != nil {
+			t.Logf("arena not allocatable after churn: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A first-fit failure must report the allocator's true used/free bytes —
+// the message feeds capacity-planning errors surfaced to users, and a stale
+// running counter would misreport exactly when it matters.
+func TestAllocFailureReportsAccurateUsage(t *testing.T) {
+	m := NewManager(10240)
+	a, _ := m.Alloc(1, 4096)
+	if _, err := m.Alloc(2, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	// 4096 bytes live, 6144 free but split 4096 + 2048: a 5000-byte request
+	// fails on fragmentation, not capacity.
+	_, err := m.Alloc(3, 5000)
+	if err == nil {
+		t.Fatal("fragmented 5000-byte allocation succeeded")
+	}
+	want := fmt.Sprintf("used %d of %d, %d free", 4096, 10240, 6144)
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("failure message %q does not report %q", err, want)
+	}
+	if m.Used() != 4096 || m.Available() != 6144 {
+		t.Errorf("Used/Available = %d/%d, want 4096/6144", m.Used(), m.Available())
+	}
 }
 
 // Property: any sequence of alloc/free keeps accounting consistent:

@@ -151,6 +151,26 @@ type App struct {
 	// time (Table 1, "Class 2").
 	Class1 Class `json:"class1"`
 	Class2 Class `json:"class2"`
+	// WorkingSet overrides the application's device-memory footprint in
+	// bytes. Zero derives it from the trace's transfers (see
+	// WorkingSetBytes); traces for applications that allocate far more than
+	// they transfer set it explicitly.
+	WorkingSet int64 `json:"working_set_bytes,omitempty"`
+}
+
+// WorkingSetBytes returns the device memory one admitted run of the
+// application holds for its lifetime: the explicit WorkingSet override when
+// set, otherwise the total bytes the trace moves across PCIe (every
+// host-sourced input plus every device-resident result it later reads back —
+// the allocation sizes a trace exposes). A trace with no transfers and no
+// override reports zero: it holds no global-memory allocations worth
+// modeling.
+func (a *App) WorkingSetBytes() int64 {
+	if a.WorkingSet > 0 {
+		return a.WorkingSet
+	}
+	h2d, d2h := a.TotalTransferBytes()
+	return h2d + d2h
 }
 
 // Validate checks the application trace for internal consistency.
@@ -168,6 +188,9 @@ func (a *App) Validate() error {
 	}
 	if len(a.Ops) == 0 {
 		return fmt.Errorf("trace: app %s has no ops", a.Name)
+	}
+	if a.WorkingSet < 0 {
+		return fmt.Errorf("trace: app %s: negative working set %d", a.Name, a.WorkingSet)
 	}
 	launches := 0
 	for i, op := range a.Ops {
@@ -271,6 +294,7 @@ func (a *App) Scale(factor int) *App {
 	for i := range out.Kernels {
 		out.Kernels[i].Launches = ceilDiv(out.Kernels[i].Launches, factor)
 	}
+	out.WorkingSet = ceilDiv64(out.WorkingSet, int64(factor))
 	return out
 }
 

@@ -203,6 +203,17 @@ type Options struct {
 	// DispatchSeed drives randomized dispatch policies (DispatchPowerOfTwo)
 	// separately from the machine's jitter seed; 0 falls back to Seed.
 	DispatchSeed uint64
+	// HBM overrides each simulated GPU's device-memory capacity in bytes for
+	// RunCluster (0 = the GPU spec's memory size; NodeTypes' HBMBytes
+	// override it per type). Each admitted request charges its application's
+	// working set against the node's capacity; when HBM is oversubscribed
+	// admission blocks FIFO — or swaps, with Swap set.
+	HBM int64
+	// Swap switches RunCluster's oversubscribed GPUs from FIFO admission
+	// blocking to host swap: contexts that do not fit spill to the host over
+	// the GPU's PCIe link and are proactively swapped back in as memory
+	// frees.
+	Swap bool
 	// ParWindow switches RunCluster from event-by-event lockstep to
 	// parallel-in-time window execution: per-GPU engines run independently
 	// inside conservative time windows on this many workers, with a
