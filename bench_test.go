@@ -456,24 +456,33 @@ func benchClusterOpts(b *testing.B) Options {
 }
 
 // BenchmarkRunCluster measures the cluster hot path end to end through the
-// public facade on a million-arrival, 64-GPU round-robin fleet: lockstep is
-// the event-by-event reference; window=N runs the parallel-in-time executor
-// on N workers. Results are byte-identical across all sub-benchmarks — only
-// the wall-clock changes — so comparing the lockstep and window lines shows
-// the windowed executor's speedup (≥2x expected on a multicore host; on a
-// single-CPU host window=1 still wins by replacing the per-event fleet scan
-// with per-node batch execution). The lockstep and window=8 lines are gated
-// by the benchcheck CI job via bench_baseline.json.
+// public facade on a million-arrival, 64-GPU fleet. The unprefixed lines
+// dispatch round-robin (load-oblivious, so the windowed executor pre-shards
+// the whole stream): lockstep is the event-by-event reference; window=N runs
+// the parallel-in-time executor on N workers. The jsq- lines dispatch
+// join-shortest-queue, where every placement reads fleet load, so the
+// windowed executor leans on the PCIe latency-floor lookahead instead of
+// pre-sharding — the comparison that prices serial dispatch decisions.
+// Results are byte-identical within a dispatch policy — only the wall-clock
+// changes. The lockstep, window=8, jsq-lockstep and jsq-window=8 lines are
+// gated by the benchcheck CI job via bench_baseline.json.
 func BenchmarkRunCluster(b *testing.B) {
 	opts := benchClusterOpts(b)
-	for _, workers := range []int{0, 1, 8} {
-		name := "lockstep"
-		if workers > 0 {
-			name = fmt.Sprintf("window=%d", workers)
-		}
-		b.Run(name, func(b *testing.B) {
+	for _, cfg := range []struct {
+		name     string
+		dispatch DispatchKind
+		workers  int
+	}{
+		{"lockstep", DispatchRoundRobin, 0},
+		{"window=1", DispatchRoundRobin, 1},
+		{"window=8", DispatchRoundRobin, 8},
+		{"jsq-lockstep", DispatchJSQ, 0},
+		{"jsq-window=8", DispatchJSQ, 8},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
 			b.ReportAllocs()
-			opts.ParWindow = workers
+			opts.Dispatch = cfg.dispatch
+			opts.ParWindow = cfg.workers
 			b.ResetTimer()
 			var last *ClusterResult
 			for i := 0; i < b.N; i++ {

@@ -37,6 +37,15 @@ const (
 	DispatchLeastLoadedFits DispatchKind = DispatchKind(cluster.KindLeastLoadedFits)
 )
 
+// Execution strategies reported by ClusterResult.Executor.
+const (
+	// ExecutorLockstep is the event-by-event reference loop.
+	ExecutorLockstep = cluster.ExecutorLockstep
+	// ExecutorParallelWindow is the parallel-in-time window loop; it
+	// produces byte-identical results to lockstep at any worker count.
+	ExecutorParallelWindow = cluster.ExecutorParallelWindow
+)
+
 // DispatchKinds lists the dispatch policies in report order.
 func DispatchKinds() []DispatchKind {
 	kinds := cluster.Kinds()
@@ -235,6 +244,14 @@ type ClusterResult struct {
 	Dispatch DispatchKind
 	// Autoscale names the scaling policy ("" = fixed fleet).
 	Autoscale string
+	// Executor names the execution strategy the run used: "parallel-window"
+	// when Options.ParWindow engaged the parallel-in-time loop, "lockstep"
+	// for the event-by-event reference — including when a positive ParWindow
+	// fell back because the run armed Options.Resilience (the lifecycle
+	// manager couples nodes through the control engine mid-window). The two
+	// strategies produce byte-identical results; this field only reports
+	// which one ran.
+	Executor string
 	// Classes lists fleet-wide per-class outcomes in spec order (per-node
 	// counters summed, latency sketches merged).
 	Classes []ClassReport
@@ -562,7 +579,11 @@ func RunCluster(o Options) (*ClusterResult, error) {
 		}
 		crc.Warmth = w
 	}
-	res, err := cluster.Run(at.t, crc)
+	cl, err := cluster.New(at.t, crc)
+	if err != nil {
+		return nil, err
+	}
+	res, err := cl.Run()
 	if err != nil {
 		return nil, err
 	}
@@ -570,6 +591,7 @@ func RunCluster(o Options) (*ClusterResult, error) {
 	out := &ClusterResult{
 		Dispatch:    DispatchKind(res.Dispatcher),
 		Autoscale:   res.Autoscaler,
+		Executor:    cl.Executor(),
 		Admitted:    res.Admitted,
 		Completed:   res.Completed,
 		Lost:        res.Lost,

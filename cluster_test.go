@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestRunCluster(t *testing.T) {
@@ -68,6 +69,57 @@ func TestRunClusterSingleNodeDefault(t *testing.T) {
 		if len(res.Nodes) != 1 || res.Nodes[0].Admitted != res.Admitted {
 			t.Errorf("%s: single-node default did not route everything to node 0", d)
 		}
+	}
+}
+
+// TestRunClusterExecutor pins the executor surfacing: ParWindow selects the
+// parallel-window loop, a zero or negative value keeps the lockstep
+// reference, Resilience forces the documented lockstep fallback — and the
+// reported executor is the only field that may differ between the two.
+func TestRunClusterExecutor(t *testing.T) {
+	base := Options{
+		Policy:    PolicyPPQ,
+		Mechanism: MechanismAdaptive,
+		Seed:      3,
+		Arrivals:  openSpec(t),
+		Nodes:     3,
+		Dispatch:  DispatchJSQ,
+	}
+	run := func(mut func(*Options)) *ClusterResult {
+		t.Helper()
+		o := base
+		if mut != nil {
+			mut(&o)
+		}
+		res, err := RunCluster(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	lock := run(nil)
+	if lock.Executor != ExecutorLockstep {
+		t.Fatalf("default run reports executor %q, want %q", lock.Executor, ExecutorLockstep)
+	}
+	par := run(func(o *Options) { o.ParWindow = 4 })
+	if par.Executor != ExecutorParallelWindow {
+		t.Fatalf("ParWindow=4 run reports executor %q, want %q", par.Executor, ExecutorParallelWindow)
+	}
+	par.Executor = lock.Executor
+	if !reflect.DeepEqual(lock, par) {
+		t.Error("parallel-window run differs from lockstep beyond the Executor field")
+	}
+	neg := run(func(o *Options) { o.ParWindow = -1 })
+	if neg.Executor != ExecutorLockstep {
+		t.Errorf("negative ParWindow reports executor %q, want lockstep", neg.Executor)
+	}
+	fallback := run(func(o *Options) {
+		o.ParWindow = 4
+		o.Resilience = &ResilienceSpec{Timeout: time.Millisecond}
+	})
+	if fallback.Executor != ExecutorLockstep {
+		t.Errorf("ParWindow with Resilience reports executor %q, want the lockstep fallback", fallback.Executor)
 	}
 }
 

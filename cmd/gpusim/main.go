@@ -441,6 +441,12 @@ func runCluster(mode string, opts repro.Options) {
 	if err != nil {
 		fatal(err)
 	}
+	if opts.ParWindow > 0 && res.Executor == repro.ExecutorLockstep {
+		// On stderr so the report itself stays byte-identical across
+		// -par-window values, which the executors guarantee for the numbers.
+		fmt.Fprintf(os.Stderr, "note: -par-window %d requested but the run executed in lockstep: "+
+			"-resilience couples the GPUs through the control engine mid-window\n", opts.ParWindow)
+	}
 	fmt.Printf("cluster: gpus=%d dispatch=%s policy=%s mechanism=%s arrivals=%s seed=%d",
 		len(res.Nodes), res.Dispatch, opts.Policy, orDefault(string(opts.Mechanism), "auto"), mode, opts.Seed)
 	if res.Autoscale != "" {

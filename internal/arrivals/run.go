@@ -31,6 +31,14 @@ type RunConfig struct {
 	MaxSimTime sim.Time
 	// MaxEvents aborts the simulation after this many events (0 = 2e9).
 	MaxEvents uint64
+	// AdmitDelay defers each arrival's admission this far past its arrival
+	// time — the dispatch-path latency floor a cluster node pays between the
+	// dispatch decision and the admission landing on its engine
+	// (pcie.Config.DispatchFloor). Latency accounting still measures from
+	// the arrival time. Zero (the default) admits at the arrival time; the
+	// delay exists so differential tests can decompose a cluster run into
+	// per-node single-machine runs bit-for-bit.
+	AdmitDelay sim.Time
 }
 
 func (rc *RunConfig) defaults() {
@@ -73,6 +81,7 @@ type engine struct {
 	sys      *system.System
 	tr       *trace.ArrivalTrace
 	acct     *metrics.SLOAccount
+	delay    sim.Time // RunConfig.AdmitDelay
 	admitted int
 	finished int
 	err      error
@@ -96,6 +105,9 @@ func Run(tr *trace.ArrivalTrace, rc RunConfig) (*Result, error) {
 	if rc.Policy == nil {
 		return nil, fmt.Errorf("arrivals: no policy factory")
 	}
+	if rc.AdmitDelay < 0 {
+		return nil, fmt.Errorf("arrivals: negative AdmitDelay %v", rc.AdmitDelay)
+	}
 	sysCfg := rc.Sys
 	if sysCfg.ContextCapacity <= 0 {
 		sysCfg.ContextCapacity = ContextCapacityFor(tr)
@@ -106,10 +118,10 @@ func Run(tr *trace.ArrivalTrace, rc RunConfig) (*Result, error) {
 	}
 	sys.Eng.SetMaxEvents(rc.MaxEvents)
 
-	e := &engine{sys: sys, tr: tr, acct: metrics.NewSLOAccount(tr.Classes)}
+	e := &engine{sys: sys, tr: tr, acct: metrics.NewSLOAccount(tr.Classes), delay: rc.AdmitDelay}
 	// Arrivals chain-schedule: each injection schedules the next, so the
 	// event heap holds one pending arrival at a time.
-	sys.Eng.At(tr.Arrivals[0].At, func() { e.inject(0) })
+	sys.Eng.At(tr.Arrivals[0].At+e.delay, func() { e.inject(0) })
 	sys.Eng.At(rc.MaxSimTime, func() { sys.Eng.Stop() })
 
 	if err := sys.Eng.Run(); err != nil && !errors.Is(err, sim.ErrEventLimit) {
@@ -202,7 +214,7 @@ func (e *engine) inject(i int) {
 		return
 	}
 	if next := i + 1; next < len(e.tr.Arrivals) {
-		e.sys.Eng.At(e.tr.Arrivals[next].At, func() { e.inject(next) })
+		e.sys.Eng.At(e.tr.Arrivals[next].At+e.delay, func() { e.inject(next) })
 	}
 }
 

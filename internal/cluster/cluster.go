@@ -180,13 +180,22 @@ type Node struct {
 	resLive              map[int]struct{}
 	ghostDone, ghostLost int
 
+	// clu points back at the owning cluster so engine callbacks can be
+	// closure-free (sim.Func with the node as context); floor is the node's
+	// dispatch-path latency floor — every admission placed on this node lands
+	// on its engine floor later than the dispatch decision (see place).
+	clu   *Cluster
+	floor sim.Time
+
 	// Parallel-window scratch (see parallel.go). Inside a window only the
 	// owning worker touches these; the merge at the window boundary drains
 	// them on the cluster goroutine.
-	winBuf []winEv    // completions buffered during the current window
-	winPos int        // merge cursor into winBuf
-	winErr error      // first admission error raised inside a window
-	shard  []shardEnt // pre-sharded arrivals awaiting engine insertion
+	winBuf  []winEv    // completions buffered during the current window
+	winPos  int        // merge cursor into winBuf
+	winErr  error      // first admission error raised inside a window
+	shard   []shardEnt // pre-sharded arrivals awaiting engine insertion
+	resSeq  []uint64   // lookahead windows: per-batch-arrival reserved seq slots
+	lookRes bool       // node reserved seq slots in the current lookahead window
 }
 
 // Admitted returns the number of dispatch attempts placed on this node.
@@ -217,6 +226,15 @@ func (n *Node) InFlight() int {
 // application index the node holds. Predictive dispatchers weigh these
 // counts by per-application service-time estimates.
 func (n *Node) InFlightByApp(app int) int { return n.inflightByApp[app] }
+
+// liveLocal is the node's in-flight population as seen from inside a
+// parallel window: completions buffered for the boundary merge have already
+// happened on this engine even though the dispatcher-visible counters only
+// move at replay. Outside a window the buffer is empty and this equals
+// InFlight.
+func (n *Node) liveLocal() int {
+	return n.InFlight() - (len(n.winBuf) - n.winPos)
+}
 
 // NodeResult reports one node slot's outcome.
 type NodeResult struct {
@@ -362,8 +380,13 @@ type Cluster struct {
 	parOn      bool
 	parWorkers int
 	pool       *runner.Pool
-	oblivious  bool    // dispatcher is LoadOblivious: arrivals pre-shard
-	winActive  []*Node // per-window scratch: nodes with work in the window
+	oblivious  bool       // dispatcher is LoadOblivious: arrivals pre-shard
+	lookOn     bool       // dispatcher is Lookahead: latency-floor windows
+	floorMin   sim.Time   // min dispatch floor over every possible target node
+	winActive  []*Node    // per-window scratch: nodes with work in the window
+	batch      []shardEnt // lookahead scratch: the arrivals inside the window
+	winCounts  []uint64   // per-window scratch: per-active-node step counts
+	finTimes   []sim.Time // final-window scratch: per-active-node drain times
 
 	// nextAt/hasNext cache each node engine's next event timestamp. Node
 	// engines are isolated — an event on node i can only schedule on node i,
@@ -510,6 +533,8 @@ func New(tr *trace.ArrivalTrace, rc RunConfig) (*Cluster, error) {
 			baseScale:     nc.scale,
 			state:         NodeUp,
 			hbm:           nc.cfg.GPU.MemSize,
+			clu:           c,
+			floor:         nc.cfg.PCIe.DispatchFloor(),
 		}
 		n.memInit()
 		if err := c.newSystem(n); err != nil {
@@ -555,8 +580,45 @@ func New(tr *trace.ArrivalTrace, rc RunConfig) (*Cluster, error) {
 	c.parOn = rc.Parallel >= 1 && c.res == nil
 	c.parWorkers = rc.Parallel
 	_, c.oblivious = c.disp.(LoadOblivious)
+	// The latency-floor lookahead bound must hold for every node an arrival
+	// could land on — including nodes the autoscaler has yet to add, which
+	// use addCfg.
+	c.floorMin = c.addCfg.PCIe.DispatchFloor()
+	for _, n := range c.Nodes {
+		if n.floor < c.floorMin {
+			c.floorMin = n.floor
+		}
+	}
+	if la, ok := c.disp.(Lookahead); ok && !c.oblivious {
+		c.lookOn = lookaheadReadsSafe(la.LookaheadReads()) && c.floorMin > 0
+	}
 	return c, nil
 }
+
+// Executor names for Cluster.Executor.
+const (
+	// ExecutorLockstep is the event-by-event reference loop.
+	ExecutorLockstep = "lockstep"
+	// ExecutorParallelWindow is the parallel-in-time window loop
+	// (byte-identical to lockstep at any worker count).
+	ExecutorParallelWindow = "parallel-window"
+)
+
+// Executor reports which execution strategy Run uses for this cluster. A
+// RunConfig.Parallel request with the resilience layer armed reports
+// ExecutorLockstep — the documented fallback (see RunConfig.Parallel).
+func (c *Cluster) Executor() string {
+	if c.parOn {
+		return ExecutorParallelWindow
+	}
+	return ExecutorLockstep
+}
+
+// DispatchFloor returns the fleet-wide dispatch-path latency floor: the
+// minimum delay between any dispatch decision and its admission landing on
+// the chosen node's engine, conservatively min'd across every node type the
+// fleet can contain.
+func (c *Cluster) DispatchFloor() sim.Time { return c.floorMin }
 
 // Run simulates the arrival stream across the configured fleet and reports
 // per-node plus rolled-up SLO metrics. The simulation stops when every
@@ -684,16 +746,25 @@ func (c *Cluster) dispatch(i int) {
 // eligible; the dispatcher picks a position in that filtered slice. The
 // dispatcher-visible counters move immediately so a later arrival at the
 // same timestamp already sees this request; the engine-side admission
-// (context allocation, process start) fires as a node event at time at, when
-// the node's clock is right.
+// (context allocation, process start) fires as a node event at the decision
+// time plus the node's dispatch-path latency floor — a dispatched request
+// cannot touch the device before its command crosses the PCIe link, and
+// modeling that delay is also what lets the parallel executor run nodes past
+// an arrival (see parallel.go).
 func (c *Cluster) place(i int, at sim.Time) {
 	n := c.pickNode(i, at)
 	if n == nil {
 		return
 	}
 	c.placeOn(n, i, at)
-	n.Sys.Eng.At(at, func() { c.admit(n, i) })
+	n.Sys.Eng.AtFunc(at+n.floor, admitEvent, n, int64(i))
 	c.refresh(n.Index)
+}
+
+// admitEvent is the closure-free engine callback of a scheduled admission.
+func admitEvent(p any, x int64) {
+	n := p.(*Node)
+	n.clu.admit(n, int(x))
 }
 
 // pickNode runs the dispatcher over the currently eligible (Up) nodes for
@@ -753,23 +824,24 @@ func (c *Cluster) admit(n *Node, i int) {
 func (c *Cluster) startRun(n *Node, i int) {
 	class, app := c.tr.Arrivals[i].Class, c.tr.Arrivals[i].App
 	err := arrivals.AdmitRequest(n.Sys, n.Acct, c.tr, i, func(exec sim.Time) {
-		n.finished++
-		n.inflightByApp[app]--
-		n.memDemand -= c.ws[app]
 		delete(n.pending, i)
 		c.memRelease(n, i)
 		if c.parOn {
-			// Inside a window only node-local state may move; the
-			// cluster-visible effects (fleet counter, dispatcher feedback,
-			// retirement) replay in deterministic merge order at the window
-			// boundary. The drain check captures this exact moment's
-			// node-local view — by merge time the counters have moved on.
+			// Inside a window only engine-local state may move; every
+			// dispatcher-visible counter (the node's in-flight population and
+			// memory demand as much as the fleet counter, Completed feedback
+			// and retirement) replays in deterministic merge order at the
+			// window boundary, so a lookahead Pick mid-batch sees exactly the
+			// completions lockstep would have shown it. In-window drain checks
+			// read liveLocal, which counts this buffered entry.
 			n.winBuf = append(n.winBuf, winEv{
 				at: n.Sys.Eng.Now(), class: class, app: app, exec: exec,
-				retire: n.state == NodeDraining && n.InFlight() == 0,
 			})
 			return
 		}
+		n.finished++
+		n.inflightByApp[app]--
+		n.memDemand -= c.ws[app]
 		c.finished++
 		c.disp.Completed(n.Index, class, app, exec)
 		if n.state == NodeDraining && n.InFlight() == 0 {

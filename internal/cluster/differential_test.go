@@ -28,8 +28,9 @@ func subTrace(tr *trace.ArrivalTrace, k, n int) *trace.ArrivalTrace {
 // off, an n-node round-robin cluster is exactly n independent single-machine
 // open systems. Each node slot's per-class counters, quantile sketches and
 // execution-engine stats must deep-equal a standalone arrivals.Run of that
-// node's sub-stream under the same derived seed — for every preemption
-// mechanism. Any control-engine leakage into the data path (a reordered
+// node's sub-stream under the same derived seed and dispatch-path admit
+// delay (the cluster charges every placement the PCIe latency floor) — for
+// every preemption mechanism. Any control-engine leakage into the data path (a reordered
 // event, a perturbed seed, a stray tick) breaks the equality.
 func TestDifferentialFixedFleetDecomposes(t *testing.T) {
 	if testing.Short() {
@@ -61,9 +62,10 @@ func TestDifferentialFixedFleetDecomposes(t *testing.T) {
 			sys.Seed = nodeSeed(rc.Sys.Seed, k, 0)
 			sys.ContextCapacity = arrivals.ContextCapacityFor(tr)
 			solo, err := arrivals.Run(sub, arrivals.RunConfig{
-				Sys:       sys,
-				Policy:    rc.Policy,
-				Mechanism: mech.mk,
+				Sys:        sys,
+				Policy:     rc.Policy,
+				Mechanism:  mech.mk,
+				AdmitDelay: sys.PCIe.DispatchFloor(),
 			})
 			if err != nil {
 				t.Fatalf("%s: standalone node %d: %v", mech.name, k, err)
@@ -197,9 +199,10 @@ func TestDifferentialResilientSingleNodeDecomposes(t *testing.T) {
 	sys.Seed = nodeSeed(rc.Sys.Seed, 0, 0)
 	sys.ContextCapacity = arrivals.ContextCapacityFor(tr)
 	solo, err := arrivals.Run(tr, arrivals.RunConfig{
-		Sys:       sys,
-		Policy:    rc.Policy,
-		Mechanism: rc.Mechanism,
+		Sys:        sys,
+		Policy:     rc.Policy,
+		Mechanism:  rc.Mechanism,
+		AdmitDelay: sys.PCIe.DispatchFloor(),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -82,6 +82,62 @@ type WorkingSetAware interface {
 	SetWorkingSets(ws []int64)
 }
 
+// StateRead names one category of node state a load-aware dispatcher's Pick
+// consumes. Every category below is reconstructed exactly by the parallel
+// executor's window merge, which is what makes latency-floor lookahead
+// windows safe for dispatchers that read nothing else (see Lookahead and
+// parallel.go).
+type StateRead int
+
+// The merge-reproducible node-state categories.
+const (
+	// ReadInFlight is Node.InFlight — the outstanding-attempt count jsq,
+	// class-affinity and p2c minimize.
+	ReadInFlight StateRead = iota
+	// ReadInFlightByApp is Node.InFlightByApp — the per-application counts
+	// predictive backlog weighting multiplies.
+	ReadInFlightByApp
+	// ReadMemory is Node.FreeHBM / the memory-demand counters a
+	// memory-aware Pick screens against.
+	ReadMemory
+	// ReadCompletions is the Completed feedback stream — per-app service
+	// time estimators and any other learned state fed by completions.
+	ReadCompletions
+
+	numStateReads // count sentinel, keep last
+)
+
+// Lookahead is the opt-in latency-floor contract for load-aware dispatchers:
+// an implementation declares, via LookaheadReads, every node-state category
+// its Pick (and hooks) consume beyond the dispatcher's own internal state.
+// If all declared reads are merge-reproducible — today every StateRead is —
+// the parallel executor may run node engines past an arrival up to its
+// dispatch-path latency floor and replay the declared inputs in lockstep
+// order before running Pick, instead of hard-syncing the fleet at every
+// arrival (see parallel.go). Declaring reads the Pick does not make is
+// harmless; making reads it does not declare (wall-clock node internals,
+// engine peeks) breaks byte-identity with lockstep. A dispatcher that is
+// also LoadOblivious keeps the stronger pre-sharding path.
+type Lookahead interface {
+	LookaheadReads() []StateRead
+}
+
+// lookaheadReadsSafe reports whether a declared read set opts a dispatcher
+// into lookahead windows: non-empty and entirely within the known
+// merge-reproducible categories (an unknown value from a third-party
+// dispatcher falls back to hard-syncing at every arrival).
+func lookaheadReadsSafe(reads []StateRead) bool {
+	if len(reads) == 0 {
+		return false
+	}
+	for _, r := range reads {
+		if r < 0 || r >= numStateReads {
+			return false
+		}
+	}
+	return true
+}
+
 // NewDispatcher builds a built-in dispatch policy. The seed drives any
 // randomness the policy uses (only p2c today); deterministic policies ignore
 // it.
@@ -199,6 +255,9 @@ func (jsq) Pick(at sim.Time, class, app int, nodes []*Node) int {
 	return shortestQueue(nodes, nil)
 }
 
+// LookaheadReads declares jsq's only input: the in-flight counts.
+func (jsq) LookaheadReads() []StateRead { return []StateRead{ReadInFlight} }
+
 // --- least-loaded (predicted backlog) --------------------------------------
 
 // leastLoadedAlpha is the service-time EWMA smoothing factor: new samples
@@ -261,6 +320,12 @@ func (d *leastLoaded) WarmStart(state any) {
 	}
 }
 
+// LookaheadReads declares the predicted-backlog inputs: per-app in-flight
+// counts weighted by estimates learned from completion feedback.
+func (d *leastLoaded) LookaheadReads() []StateRead {
+	return []StateRead{ReadInFlightByApp, ReadCompletions}
+}
+
 // prepWeights refreshes the per-app scratch weights for one Pick.
 func (d *leastLoaded) prepWeights() {
 	for a := range d.weights {
@@ -305,6 +370,11 @@ func NewLeastLoadedFits() Dispatcher { return &leastLoadedFits{} }
 func (d *leastLoadedFits) Name() string { return string(KindLeastLoadedFits) }
 
 func (d *leastLoadedFits) SetWorkingSets(ws []int64) { d.ws = ws }
+
+// LookaheadReads adds the memory screen to least-loaded's declared inputs.
+func (d *leastLoadedFits) LookaheadReads() []StateRead {
+	return []StateRead{ReadInFlightByApp, ReadCompletions, ReadMemory}
+}
 
 // Pick places the request on the least-predicted-backlog node among those
 // with enough free HBM for its working set. When no node fits — the fleet is
@@ -355,6 +425,11 @@ func NewClassAffinity() Dispatcher { return &classAffinity{} }
 func (d *classAffinity) Name() string { return string(KindClassAffinity) }
 
 func (d *classAffinity) Reset(nodes, classes, apps int) { d.classes = classes }
+
+// LookaheadReads declares the subset shortest-queue input (the congruence
+// subset itself derives from Node.Index and the eligible-set shape, both
+// fixed between control events).
+func (d *classAffinity) LookaheadReads() []StateRead { return []StateRead{ReadInFlight} }
 
 // Pick recomputes the class's subset from the live eligible set on every
 // call: eligible nodes whose fleet INDEX is congruent to the class modulo
@@ -415,6 +490,11 @@ func NewPowerOfTwo(seed uint64) Dispatcher {
 func (d *powerOfTwo) Name() string { return string(KindPowerOfTwo) }
 
 func (d *powerOfTwo) Reset(nodes, classes, apps int) { d.r = rng.New(d.seed) }
+
+// LookaheadReads declares the two sampled queue probes; the sample stream
+// itself is the dispatcher's own seeded state, consumed in arrival order —
+// which the micro-merge preserves.
+func (d *powerOfTwo) LookaheadReads() []StateRead { return []StateRead{ReadInFlight} }
 
 func (d *powerOfTwo) Pick(at sim.Time, class, app int, nodes []*Node) int {
 	if len(nodes) == 0 {

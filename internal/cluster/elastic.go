@@ -290,6 +290,8 @@ func (c *Cluster) scaleUp(k int, at sim.Time) {
 			state:         NodeUp,
 			upSince:       at,
 			hbm:           c.addCfg.GPU.MemSize,
+			clu:           c,
+			floor:         c.addCfg.PCIe.DispatchFloor(),
 		}
 		n.memInit()
 		if err := c.newSystem(n); err != nil {

@@ -24,7 +24,7 @@
 // each node's buffer already in its engine's firing order. After the merge
 // the cluster state is indistinguishable from having run lockstep to B.
 //
-// Two refinements make the windows long enough to matter:
+// Three refinements make the windows long enough to matter:
 //
 // Pre-sharding. A LoadOblivious dispatcher's Pick reads nothing but its own
 // internal state, so arrival dispatch stops being a serialization point: the
@@ -38,6 +38,27 @@
 // reproduces the engine's insertion-order tie-break (equal-time events fire
 // FIFO by insertion) verbatim. On a fixed fleet with no faults this makes
 // the whole run one window per control gap — or a single window.
+//
+// Latency-floor lookahead. A load-aware Pick at arrival time tA reads fleet
+// state — but every admission physically lands floor(n) after its decision
+// (the dispatch command must cross the node's PCIe link; see
+// pcie.Config.DispatchFloor and Cluster.place), so no decision made in
+// [tA, tA+floorMin) can perturb any node engine before tA+floorMin. A
+// Lookahead dispatcher declares that its Pick reads only state the boundary
+// merge reconstructs (in-flight counts, memory demand, completion feedback),
+// which makes this two-level soft-sync protocol safe: (1) run every node in
+// parallel to B = min(nextControl, tA+floorMin) — a hard-sync boundary would
+// have been tA itself; (2) without tearing down the worker pool, replay the
+// window serially as an "arrival micro-merge": buffered completions and the
+// batched arrivals interleave in lockstep total order (arrivals before
+// same-time node events), each Pick seeing exactly the counters lockstep
+// would have shown it; (3) schedule each admission at its decision time plus
+// floor(n) — at or after B, so the already-advanced engine accepts it — on a
+// sequence slot the node reserved when its in-window run crossed the
+// arrival's timestamp (sim.Engine.ReserveSeq), so same-time ties fire in the
+// exact lockstep order. Node-local counters (in-flight, per-app, memory
+// demand) defer to the merge along with the fleet effects; in-window drain
+// checks read Node.liveLocal, which counts the buffered completions.
 //
 // Final windows. Once the stream is exhausted, the run must stop at the
 // exact completion that resolves the last request — lockstep checks done()
@@ -63,16 +84,14 @@ import (
 )
 
 // winEv is one completion buffered inside a parallel window: everything the
-// merge needs to replay the completion's cluster-visible effects in lockstep
-// order. Per-node buffers are appended in engine firing order, so (at, node
-// index, buffer position) reproduces the lockstep total order.
+// merge needs to replay the completion's effects — the node's own counters
+// as much as the fleet's — in lockstep order. Per-node buffers are appended
+// in engine firing order, so (at, node index, buffer position) reproduces
+// the lockstep total order.
 type winEv struct {
 	at         sim.Time
 	class, app int
 	exec       sim.Time
-	// retire records that this completion drained a Draining node, captured
-	// in-window while the node-local counters still show that exact moment.
-	retire bool
 }
 
 // shardEnt is one pre-sharded arrival awaiting engine insertion by the
@@ -131,6 +150,18 @@ func (c *Cluster) parLoop() error {
 			c.ctl.Step()
 			c.refreshCtl()
 			processed++
+		case c.lookOn && hasA:
+			// Latency-floor lookahead: run every node to
+			// min(nextControl, tA+floorMin), batching the arrivals inside
+			// the floor, then micro-merge arrivals and completions serially.
+			steps, progressed := c.runLookahead(c.lookBound(tA))
+			if !progressed {
+				// Nothing pending at or before the horizon (the remaining
+				// arrivals land beyond it) — exactly lockstep's stop.
+				c.now = c.rc.MaxSimTime
+				return c.err
+			}
+			processed += steps
 		case hasA && (ni < 0 || tA <= tN):
 			if tA > c.rc.MaxSimTime {
 				c.now = c.rc.MaxSimTime
@@ -161,6 +192,148 @@ func (c *Cluster) parLoop() error {
 		}
 	}
 	return c.err
+}
+
+// lookBound returns the latency-floor lookahead horizon for a window whose
+// earliest undispatched arrival is at tA: the next control event still
+// hard-syncs, but the arrival itself does not — no placement decided in
+// [tA, tA+floorMin) can land on any node engine before tA+floorMin.
+func (c *Cluster) lookBound(tA sim.Time) sim.Time {
+	bound := c.rc.MaxSimTime + 1
+	if c.ctlHas && c.ctlAt < bound {
+		bound = c.ctlAt
+	}
+	if tA+c.floorMin < bound {
+		bound = tA + c.floorMin
+	}
+	return bound
+}
+
+// runLookahead executes one latency-floor lookahead window: batch the
+// arrivals strictly before bound, run every node with pending events in
+// parallel to the bound (reserving a sequence slot per batched arrival at
+// each arrival-time crossing), then micro-merge the batch and the buffered
+// completions serially in lockstep total order. Reports the node events
+// fired and whether the window made any progress.
+func (c *Cluster) runLookahead(bound sim.Time) (uint64, bool) {
+	c.batch = c.batch[:0]
+	for c.next < len(c.tr.Arrivals) {
+		at := c.tr.Arrivals[c.next].At
+		if at >= bound {
+			break
+		}
+		c.batch = append(c.batch, shardEnt{i: c.next, at: at})
+		c.next++
+	}
+	active := c.winActive[:0]
+	for i, n := range c.Nodes {
+		if c.hasNext[i] && c.nextAt[i] < bound {
+			active = append(active, n)
+		}
+	}
+	c.winActive = active
+	if len(active) == 0 && len(c.batch) == 0 {
+		return 0, false
+	}
+	counts := c.stepCounts(len(active))
+	c.fanOut(len(active), func(i int) {
+		counts[i] = c.runNodeLook(active[i], bound)
+	})
+	var steps uint64
+	for _, s := range counts {
+		steps += s
+	}
+	for _, n := range active {
+		c.refresh(n.Index)
+	}
+	c.mergeLookahead()
+	for _, n := range active {
+		n.lookRes = false
+	}
+	return steps, true
+}
+
+// runNodeLook fires node n's events strictly before bound, reserving one of
+// the engine's sequence slots per batched arrival the moment the engine
+// crosses that arrival's timestamp — the exact point the lockstep loop would
+// have scheduled the admission, whose seq the reservation therefore
+// captures. Every node reserves for every batched arrival (placement is not
+// yet decided); unspent slots are harmless.
+func (c *Cluster) runNodeLook(n *Node, bound sim.Time) uint64 {
+	eng := n.Sys.Eng
+	batch := c.batch
+	if cap(n.resSeq) < len(batch) {
+		n.resSeq = make([]uint64, len(batch))
+	}
+	n.resSeq = n.resSeq[:len(batch)]
+	n.lookRes = true
+	var steps uint64
+	bp := 0
+	for {
+		t, ok := eng.Peek()
+		for bp < len(batch) && (!ok || batch[bp].at <= t) {
+			n.resSeq[bp] = eng.ReserveSeq()
+			bp++
+		}
+		if !ok || t >= bound {
+			break
+		}
+		eng.Step()
+		steps++
+	}
+	for bp < len(batch) {
+		n.resSeq[bp] = eng.ReserveSeq()
+		bp++
+	}
+	return steps
+}
+
+// mergeLookahead is the arrival micro-merge: replay the batched arrivals and
+// the buffered completions in lockstep total order — ascending time, an
+// arrival before a same-time completion (lockstep fires arrivals before node
+// events), completions tying by node index. Each Pick runs against exactly
+// the counters lockstep would have shown it; each admission is scheduled at
+// decision time + floor(n) on the sequence slot the chosen node reserved.
+func (c *Cluster) mergeLookahead() {
+	bp := 0
+	for c.err == nil {
+		var best *Node
+		for _, n := range c.winActive {
+			if n.winPos < len(n.winBuf) && (best == nil || n.winBuf[n.winPos].at < best.winBuf[best.winPos].at) {
+				best = n
+			}
+		}
+		if bp < len(c.batch) && (best == nil || c.batch[bp].at <= best.winBuf[best.winPos].at) {
+			a := c.batch[bp]
+			c.now = a.at
+			c.lookPlace(a.i, a.at, bp)
+			bp++
+			continue
+		}
+		if best == nil {
+			break
+		}
+		c.applyWinEv(best)
+	}
+	c.resetWinBufs(c.winActive)
+}
+
+// lookPlace is place for a micro-merged arrival: identical protocol, but the
+// admission lands on the reserved sequence slot when the chosen node ran in
+// this window (an idle node's sequence counter already matches lockstep's,
+// so a plain schedule is exact there).
+func (c *Cluster) lookPlace(i int, at sim.Time, bp int) {
+	n := c.pickNode(i, at)
+	if n == nil {
+		return
+	}
+	c.placeOn(n, i, at)
+	if n.lookRes {
+		n.Sys.Eng.AtSeqFunc(at+n.floor, n.resSeq[bp], admitEvent, n, int64(i))
+	} else {
+		n.Sys.Eng.AtFunc(at+n.floor, admitEvent, n, int64(i))
+	}
+	c.refresh(n.Index)
 }
 
 // windowBound returns the conservative lookahead horizon: the earliest
@@ -217,7 +390,7 @@ func (c *Cluster) runWindow(bound sim.Time, final bool) uint64 {
 	if final {
 		steps = c.runFinal(active, bound)
 	} else {
-		counts := make([]uint64, len(active))
+		counts := c.stepCounts(len(active))
 		c.fanOut(len(active), func(i int) {
 			counts[i] = c.runNodeTo(active[i], bound)
 		})
@@ -230,6 +403,18 @@ func (c *Cluster) runWindow(bound sim.Time, final bool) uint64 {
 	}
 	c.mergeWindow(active)
 	return steps
+}
+
+// stepCounts returns the per-active-node step-count scratch, zeroed and
+// sized to n — windows fire millions of times per run, so the buffer is
+// reused rather than reallocated.
+func (c *Cluster) stepCounts(n int) []uint64 {
+	if cap(c.winCounts) < n {
+		c.winCounts = make([]uint64, n)
+	}
+	c.winCounts = c.winCounts[:n]
+	clear(c.winCounts)
+	return c.winCounts
 }
 
 // fanOut runs fn(0..n-1) on the window pool, or inline when the pool is
@@ -259,7 +444,7 @@ func (c *Cluster) runNodeTo(n *Node, bound sim.Time) uint64 {
 		for sp < len(n.shard) && (!ok || n.shard[sp].at <= t) {
 			s := n.shard[sp]
 			sp++
-			eng.At(s.at, func() { c.admit(n, s.i) })
+			eng.AtFunc(s.at+n.floor, admitEvent, n, int64(s.i))
 			t, ok = eng.Peek()
 		}
 		if !ok || t >= bound {
@@ -273,9 +458,10 @@ func (c *Cluster) runNodeTo(n *Node, bound sim.Time) uint64 {
 }
 
 // runNodeDrain is runNodeTo for pass one of a final window: it additionally
-// stops the moment the node's own in-flight population hits zero, recording
-// the draining completion's time in *fin (which stays negative if the node
-// was still busy at the bound).
+// stops the moment the node's own in-flight population hits zero (liveLocal:
+// completions buffered for the merge count), recording the draining
+// completion's time in *fin (which stays negative if the node was still busy
+// at the bound).
 func (c *Cluster) runNodeDrain(n *Node, bound sim.Time, fin *sim.Time) uint64 {
 	eng := n.Sys.Eng
 	var steps uint64
@@ -285,7 +471,7 @@ func (c *Cluster) runNodeDrain(n *Node, bound sim.Time, fin *sim.Time) uint64 {
 		for sp < len(n.shard) && (!ok || n.shard[sp].at <= t) {
 			s := n.shard[sp]
 			sp++
-			eng.At(s.at, func() { c.admit(n, s.i) })
+			eng.AtFunc(s.at+n.floor, admitEvent, n, int64(s.i))
 			t, ok = eng.Peek()
 		}
 		if !ok || t >= bound {
@@ -293,7 +479,7 @@ func (c *Cluster) runNodeDrain(n *Node, bound sim.Time, fin *sim.Time) uint64 {
 		}
 		eng.Step()
 		steps++
-		if n.InFlight() == 0 && sp == len(n.shard) {
+		if n.liveLocal() == 0 && sp == len(n.shard) {
 			*fin = eng.Now()
 			break
 		}
@@ -323,22 +509,25 @@ func (c *Cluster) runNodeUntil(n *Node, limit sim.Time) uint64 {
 // the run's final fired event, exactly as lockstep's done()-before-every-
 // event check guarantees.
 func (c *Cluster) runFinal(active []*Node, bound sim.Time) uint64 {
-	counts := make([]uint64, len(active))
-	fins := make([]sim.Time, len(active))
+	counts := c.stepCounts(len(active))
+	if cap(c.finTimes) < len(active) {
+		c.finTimes = make([]sim.Time, len(active))
+	}
+	fins := c.finTimes[:len(active)]
 	// Pass one: nodes with live work drain or hit the bound. Nodes holding
 	// only residual events wait — how far they may run depends on where the
 	// global finish lands.
 	c.fanOut(len(active), func(i int) {
 		fins[i] = -1
 		n := active[i]
-		if n.InFlight() == 0 && len(n.shard) == 0 {
+		if n.liveLocal() == 0 && len(n.shard) == 0 {
 			return
 		}
 		counts[i] = c.runNodeDrain(n, bound, &fins[i])
 	})
 	totalIn := 0
 	for _, n := range c.Nodes {
-		totalIn += n.InFlight()
+		totalIn += n.liveLocal()
 	}
 	if totalIn > 0 {
 		// Some node is still busy at the bound (or holds work with no event
@@ -378,9 +567,10 @@ func (c *Cluster) runFinal(active []*Node, bound sim.Time) uint64 {
 
 // mergeWindow replays the completions buffered during a window in the
 // lockstep total order — ascending time, ties by node index, each node's
-// buffer already engine-ordered — applying the cluster-visible effects the
-// in-window callbacks deferred. It also promotes the lowest-index node's
-// window error, keeping failures deterministic at any worker count.
+// buffer already engine-ordered — applying the node- and cluster-visible
+// effects the in-window callbacks deferred. It also promotes the
+// lowest-index node's window error, keeping failures deterministic at any
+// worker count.
 func (c *Cluster) mergeWindow(active []*Node) {
 	for {
 		var best *Node
@@ -392,15 +582,32 @@ func (c *Cluster) mergeWindow(active []*Node) {
 		if best == nil {
 			break
 		}
-		ev := &best.winBuf[best.winPos]
-		best.winPos++
-		c.now = ev.at
-		c.finished++
-		c.disp.Completed(best.Index, ev.class, ev.app, ev.exec)
-		if ev.retire {
-			c.retire(best, ev.at)
-		}
+		c.applyWinEv(best)
 	}
+	c.resetWinBufs(active)
+}
+
+// applyWinEv replays node n's next buffered completion: the deferred node
+// counters, the fleet counter, the dispatcher feedback, and the drained-node
+// retirement check — which reads the same counters lockstep's inline check
+// would, because a Draining node receives no placements mid-window.
+func (c *Cluster) applyWinEv(n *Node) {
+	ev := &n.winBuf[n.winPos]
+	n.winPos++
+	c.now = ev.at
+	n.finished++
+	n.inflightByApp[ev.app]--
+	n.memDemand -= c.ws[ev.app]
+	c.finished++
+	c.disp.Completed(n.Index, ev.class, ev.app, ev.exec)
+	if n.state == NodeDraining && n.InFlight() == 0 {
+		c.retire(n, ev.at)
+	}
+}
+
+// resetWinBufs clears the window buffers and promotes the lowest-index
+// node's window error.
+func (c *Cluster) resetWinBufs(active []*Node) {
 	for _, n := range active {
 		n.winBuf = n.winBuf[:0]
 		n.winPos = 0

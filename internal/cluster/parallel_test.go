@@ -82,6 +82,105 @@ func TestParallelWindowMatchesLockstep(t *testing.T) {
 	}
 }
 
+// TestLookaheadEngages pins the latency-floor wiring: every load-aware
+// dispatcher declares its window reads and engages the lookahead executor,
+// while load-oblivious round-robin keeps the pre-sharding fast path (lookOn
+// off — it never windows at arrivals in the first place). The safe lookahead
+// must equal the PCIe dispatch floor minimized across the fleet, including
+// the autoscaler's add-node config.
+func TestLookaheadEngages(t *testing.T) {
+	tr := testTrace(t, 40000, 63)
+	for ki, kind := range Kinds() {
+		d, err := NewDispatcher(kind, uint64(ki+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc := testRunConfig(3, d)
+		rc.Parallel = 2
+		c, err := New(tr, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Executor() != ExecutorParallelWindow {
+			t.Fatalf("%s: executor %q with Parallel set", kind, c.Executor())
+		}
+		want := rc.Sys.PCIe.DispatchFloor()
+		if want <= 0 {
+			t.Fatal("default PCIe config has no dispatch floor; the lookahead is untestable")
+		}
+		if c.DispatchFloor() != want {
+			t.Errorf("%s: fleet floor %v, want the PCIe dispatch floor %v", kind, c.DispatchFloor(), want)
+		}
+		_, oblivious := any(d).(LoadOblivious)
+		la, aware := any(d).(Lookahead)
+		if !oblivious && !aware {
+			t.Errorf("%s: load-aware dispatcher declares no lookahead reads; it windows at every arrival", kind)
+		}
+		if aware && !lookaheadReadsSafe(la.LookaheadReads()) {
+			t.Errorf("%s: LookaheadReads %v not within the merge-reconstructible set", kind, la.LookaheadReads())
+		}
+		if c.lookOn == oblivious {
+			t.Errorf("%s: lookOn = %v with oblivious = %v", kind, c.lookOn, oblivious)
+		}
+	}
+
+	// The lockstep reference never reports the parallel-window executor.
+	c, err := New(tr, testRunConfig(3, NewJSQ()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Executor() != ExecutorLockstep {
+		t.Errorf("lockstep cluster reports executor %q", c.Executor())
+	}
+}
+
+// TestLookaheadMemoryPressureMatchesLockstep drives the lookahead executor
+// through the memory ledger's hardest regime: a heterogeneous scarce-HBM
+// fleet where placements block (or swap) on device memory, so the
+// merge-replayed memDemand releases feed straight back into
+// least-loaded-fits decisions. Both memory-aware and memory-blind dispatch
+// must reproduce lockstep byte-for-byte at every committed worker count, in
+// both oversubscription disciplines.
+func TestLookaheadMemoryPressureMatchesLockstep(t *testing.T) {
+	tr := memTrace(t, 60000, 64)
+	for _, kind := range []Kind{KindLeastLoaded, KindLeastLoadedFits} {
+		for _, swap := range []bool{false, true} {
+			mkRC := func(parallel int) RunConfig {
+				d, err := NewDispatcher(kind, 9)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rc := testRunConfig(0, d)
+				rc.NodeTypes = []NodeType{
+					{Count: 2, HBMBytes: memTestRoomy},
+					{Count: 2, HBMBytes: memTestTight},
+				}
+				rc.Swap = swap
+				rc.Parallel = parallel
+				return rc
+			}
+			ref, err := Run(tr, mkRC(0))
+			if err != nil {
+				t.Fatalf("%s/swap=%v: lockstep: %v", kind, swap, err)
+			}
+			if !swap && ref.Spills != 0 {
+				t.Fatalf("%s: block mode spilled", kind)
+			}
+			for _, workers := range []int{1, 4, 8} {
+				par, err := Run(tr, mkRC(workers))
+				if err != nil {
+					t.Fatalf("%s/swap=%v: parallel(%d): %v", kind, swap, workers, err)
+				}
+				if !reflect.DeepEqual(ref, par) {
+					t.Errorf("%s/swap=%v: parallel(%d) diverged from lockstep: completed %d/%d spills %d/%d end %v/%v",
+						kind, swap, workers, ref.Completed, par.Completed,
+						ref.Spills, par.Spills, ref.EndTime, par.EndTime)
+				}
+			}
+		}
+	}
+}
+
 // TestParallelPreShardMatchesLockstep pins the pre-sharding fast path: a
 // fixed round-robin fleet with no control events runs the whole stream as
 // one giant window whose arrivals are all batched ahead of execution —

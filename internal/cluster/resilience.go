@@ -211,7 +211,12 @@ func (c *Cluster) launch(i, kind int, at sim.Time) {
 	if c.breakers != nil {
 		c.breakers[n.Index].Dispatched(at)
 	}
-	att.admitID = n.Sys.Eng.At(at, func() { c.resAdmit(n, attID) })
+	// The engine-side admission pays the same dispatch-path latency floor as
+	// the plain path (see Cluster.place): the attempt's command must cross
+	// the node's PCIe link before it can touch the device. Timeouts and
+	// cancellations keyed on the attempt still work — admitID stays
+	// cancelable until the event fires.
+	att.admitID = n.Sys.Eng.At(at+n.floor, func() { c.resAdmit(n, attID) })
 	c.refresh(n.Index)
 	if c.res.Timeout > 0 {
 		to := at + c.res.Timeout

@@ -79,10 +79,14 @@ var (
 // autoscaleStepConfig is the swept autoscaler policy: backlog-driven with a
 // 50us tick and a full-range step, so a flash crowd is answered within one
 // tick rather than ramped into over several cooldowns (a 250us/step-1 policy
-// misses exactly the rt deadlines the scale-up is for).
+// misses exactly the rt deadlines the scale-up is for). The long cooldown is
+// scale-down hysteresis: a burst's short lulls dip below the low-water
+// backlog, and draining capacity mid-burst strands the stragglers behind the
+// dispatch-path latency floor every placement now pays.
 func autoscaleStepConfig() cluster.StepConfig {
 	return cluster.StepConfig{
 		Interval:    50 * sim.Microsecond,
+		Cooldown:    500 * sim.Microsecond,
 		Min:         autoscaleMinNodes,
 		Max:         autoscaleMaxNodes,
 		Step:        autoscaleMaxNodes - autoscaleMinNodes,

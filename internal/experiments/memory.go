@@ -37,8 +37,8 @@ const (
 // binding constraint and memory-blind placement pays for it.
 const (
 	memoryAmpleHBM  = 1 << 30 // 1 GiB per node
-	memoryRoomyHBM  = 32 << 20
-	memoryTightHBM  = 8 << 20
+	memoryRoomyHBM  = 40 << 20
+	memoryTightHBM  = 10 << 20
 	memoryFleetSize = 4
 )
 

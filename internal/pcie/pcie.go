@@ -79,6 +79,18 @@ func (c *Config) TransferTime(bytes int64) sim.Time {
 	return c.IssueLatency + wire + sim.Time(bursts)*c.BurstOverhead
 }
 
+// DispatchFloor returns the latency floor of the dispatch path over this
+// link: the minimum delay between issuing a transfer command and the engine
+// observing any effect of it, i.e. the transfer time of the smallest
+// non-empty command (issue latency + one burst's overhead + its wire time).
+// No dispatched request can touch a device behind this link sooner, which
+// makes the floor a provable scheduling lookahead for fleet drivers (the
+// cluster layer runs node engines this far past an arrival before its
+// placement must land).
+func (c *Config) DispatchFloor() sim.Time {
+	return c.TransferTime(1)
+}
+
 // Command is one DMA transfer request.
 type Command struct {
 	CtxID    int
